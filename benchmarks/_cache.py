@@ -1,0 +1,78 @@
+"""Disk cache for the expensive online-evaluation sweeps.
+
+The figure benches all consume the same α×β / α+ / θ sweeps; running them
+takes tens of minutes at the default scale.  Results are cached under
+``.bench_cache/`` keyed by (scale, seed, config), so re-running the bench
+suite (or running a single bench) reuses completed sweeps.  Delete the
+directory to force recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.evaluation.online import OnlineRunResult
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".bench_cache"
+
+
+def _key(parts: dict) -> str:
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+def _encode_alpha(alpha):
+    return list(alpha) if isinstance(alpha, tuple) else alpha
+
+
+def _decode_alpha(alpha):
+    return tuple(alpha) if isinstance(alpha, list) else alpha
+
+
+def result_to_dict(r: OnlineRunResult) -> dict:
+    d = dataclasses.asdict(r)
+    d["alpha"] = _encode_alpha(r.alpha)
+    return d
+
+
+def result_from_dict(d: dict) -> OnlineRunResult:
+    return OnlineRunResult(
+        model_name=d["model_name"],
+        alpha=_decode_alpha(d["alpha"]),
+        beta=d["beta"],
+        theta=d["theta"],
+        sampling=d["sampling"],
+        seed=d["seed"],
+        f1=d["f1"],
+        accuracy=d["accuracy"],
+        n_test_jobs=d["n_test_jobs"],
+        n_retrainings=d["n_retrainings"],
+        train_times=tuple(d["train_times"]),
+        predict_times=tuple(d["predict_times"]),
+        encode_time_per_job=d["encode_time_per_job"],
+        train_sizes=tuple(d["train_sizes"]),
+        per_day_f1=tuple(d.get("per_day_f1", ())),
+    )
+
+
+def cached_sweep(name: str, key_parts: dict, compute, *, serialize, deserialize):
+    """Load a sweep from cache or compute and store it."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{name}_{_key(key_parts)}.json"
+    if path.exists():
+        return deserialize(json.loads(path.read_text()))
+    value = compute()
+    path.write_text(json.dumps(serialize(value)))
+    return value
+
+
+def serialize_run_map(runs: dict) -> list:
+    """dict[key-tuple, OnlineRunResult] -> JSON list."""
+    return [[list(k), result_to_dict(v)] for k, v in runs.items()]
+
+
+def deserialize_run_map(data: list) -> dict:
+    return {tuple(k): result_from_dict(v) for k, v in data}

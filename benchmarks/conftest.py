@@ -1,0 +1,193 @@
+"""Shared state for the figure/table reproduction benches.
+
+Scale knobs come from the environment (see :mod:`repro.config`):
+
+- ``REPRO_BENCH_SCALE`` — fraction of the paper's 2.2 M-job trace
+  (default 1/60 ≈ 37k jobs; EXPERIMENTS.md numbers were produced at this
+  scale and seed).
+- ``REPRO_BENCH_SEED`` — workload seed (default 2024).
+
+Heavy sweeps are computed once per session and cached on disk
+(:mod:`benchmarks._cache`).  Shape assertions are enforced at the default
+scale; at much smaller scales the benches still regenerate every table but
+relax the assertions (single-draw noise outweighs the effects).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._cache import (
+    cached_sweep,
+    deserialize_run_map,
+    result_from_dict,
+    result_to_dict,
+    serialize_run_map,
+)
+from repro.config import bench_settings
+from repro.core import JobCharacterizer
+from repro.evaluation import (
+    ModelSpec,
+    OnlineEvaluator,
+    PAPER_THETA_SEEDS,
+    sweep_alpha_beta,
+    sweep_theta,
+)
+from repro.fugaku import generate_trace
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def strict(settings):
+    """Whether shape assertions are enforced (default scale or larger)."""
+    return settings.scale >= 1 / 80
+
+
+@pytest.fixture(scope="session")
+def trace(settings):
+    return generate_trace(scale=settings.scale, seed=settings.seed)
+
+
+@pytest.fixture(scope="session")
+def characterizer():
+    return JobCharacterizer()
+
+
+@pytest.fixture(scope="session")
+def labels(trace, characterizer):
+    return characterizer.labels_from_trace(trace)
+
+
+@pytest.fixture(scope="session")
+def evaluator(trace):
+    return OnlineEvaluator(trace)
+
+
+@pytest.fixture(scope="session")
+def knn_spec(settings):
+    return ModelSpec("KNN", "KNN", settings.knn_params)
+
+
+@pytest.fixture(scope="session")
+def rf_spec(settings):
+    return ModelSpec("RF", "RF", settings.rf_params)
+
+
+def _grid_key(settings, spec):
+    return {
+        "scale": settings.scale,
+        "seed": settings.seed,
+        "model": spec.name,
+        "params": spec.params,
+    }
+
+
+@pytest.fixture(scope="session")
+def knn_grid(evaluator, knn_spec, settings):
+    """Fig. 6/7/8 sweep for KNN: dict[(alpha, beta) -> OnlineRunResult]."""
+    return cached_sweep(
+        "grid_knn",
+        _grid_key(settings, knn_spec),
+        lambda: sweep_alpha_beta(evaluator, knn_spec),
+        serialize=serialize_run_map,
+        deserialize=deserialize_run_map,
+    )
+
+
+@pytest.fixture(scope="session")
+def rf_grid(evaluator, rf_spec, settings):
+    """Fig. 6/7/8 sweep for RF."""
+    return cached_sweep(
+        "grid_rf",
+        _grid_key(settings, rf_spec),
+        lambda: sweep_alpha_beta(evaluator, rf_spec),
+        serialize=serialize_run_map,
+        deserialize=deserialize_run_map,
+    )
+
+
+def _thetas(settings):
+    """Paper θ grid {1e2, 1e3, 1e4, 1e5} mapped to this scale."""
+    return tuple(sorted({settings.scaled_theta(t) for t in (1e2, 1e3, 1e4, 1e5)}))
+
+
+@pytest.fixture(scope="session")
+def theta_grid_values(settings):
+    return _thetas(settings)
+
+
+def _theta_sweep(evaluator, spec, settings):
+    res = sweep_theta(
+        evaluator,
+        spec,
+        thetas=_thetas(settings),
+        alpha=spec.best_alpha,
+        seeds=PAPER_THETA_SEEDS,
+    )
+    # strip the heavyweight runs for caching; keep means/stds + one sample
+    return {
+        k: {"f1_mean": v["f1_mean"], "f1_std": v["f1_std"]} for k, v in res.items()
+    }
+
+
+def _theta_cache(name, evaluator, spec, settings):
+    return cached_sweep(
+        name,
+        {**_grid_key(settings, spec), "thetas": _thetas(settings)},
+        lambda: _theta_sweep(evaluator, spec, settings),
+        serialize=lambda v: [[list(k), d] for k, d in v.items()],
+        deserialize=lambda data: {tuple(k): d for k, d in data},
+    )
+
+
+@pytest.fixture(scope="session")
+def theta_knn(evaluator, knn_spec, settings):
+    """Fig. 9: θ subsampling for KNN (means over the paper's 5 seeds)."""
+    return _theta_cache("theta_knn", evaluator, knn_spec, settings)
+
+
+@pytest.fixture(scope="session")
+def theta_rf(evaluator, rf_spec, settings):
+    """Fig. 10: θ subsampling for RF."""
+    return _theta_cache("theta_rf", evaluator, rf_spec, settings)
+
+
+@pytest.fixture(scope="session")
+def baseline_run(evaluator, settings):
+    """§V-C.a lookup baseline at the paper's (α=30, β=1)."""
+    return cached_sweep(
+        "baseline",
+        {"scale": settings.scale, "seed": settings.seed},
+        lambda: evaluator.evaluate_baseline(alpha=30, beta=1),
+        serialize=result_to_dict,
+        deserialize=result_from_dict,
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_plus_runs(evaluator, knn_spec, rf_spec, settings):
+    """§V-C.b growing-window runs for both models."""
+
+    def compute():
+        out = {}
+        for spec in (knn_spec, rf_spec):
+            out[(spec.name, "plus")] = evaluator.evaluate(
+                spec.algorithm,
+                spec.params,
+                alpha=("plus", spec.best_alpha),
+                beta=1,
+                model_name=spec.name,
+            )
+        return out
+
+    return cached_sweep(
+        "alpha_plus",
+        {**_grid_key(settings, knn_spec), "rf": rf_spec.params},
+        compute,
+        serialize=serialize_run_map,
+        deserialize=deserialize_run_map,
+    )

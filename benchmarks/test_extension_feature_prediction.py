@@ -1,0 +1,47 @@
+"""Extension — §VI: KNN regression of duration and power at submission time.
+
+Not a paper figure; validates the future-work direction the paper names:
+the same similar-jobs search predicts continuous features usefully better
+than a global-mean baseline.
+"""
+
+import numpy as np
+
+from repro.core import JobFeaturePredictor
+from repro.evaluation.reporting import format_table
+from repro.fugaku.workload import DAY_SECONDS
+
+
+def test_extension_feature_prediction(benchmark, trace):
+    train = trace.between(32 * DAY_SECONDS, 62 * DAY_SECONDS)
+    test = trace.between(62 * DAY_SECONDS, 63 * DAY_SECONDS)
+    train_records = [r.as_dict() for r in train.iter_rows()]
+    test_records = [r.as_dict() for r in test.iter_rows()]
+
+    rows = []
+    improvements = {}
+    for target in ("duration", "power_avg_w"):
+        predictor = JobFeaturePredictor(target, weights="distance")
+        predictor.training(train_records)
+        y_true = np.array([r[target] for r in test_records])
+        y_pred = predictor.inference(test_records)
+        baseline = np.full_like(y_true, np.mean([r[target] for r in train_records]))
+        err_model = predictor.median_relative_error(y_true, y_pred)
+        err_base = predictor.median_relative_error(y_true, baseline)
+        improvements[target] = (err_model, err_base)
+        rows.append([target, f"{err_model:.1%}", f"{err_base:.1%}"])
+
+    print()
+    print(format_table(
+        ["target", "KNN med.rel.err", "global-mean med.rel.err"],
+        rows,
+        title="Extension: pre-execution feature prediction",
+    ))
+
+    for target, (model_err, base_err) in improvements.items():
+        assert model_err < base_err, f"{target}: KNN no better than the mean"
+    # power is strongly template-determined; the error should be small
+    assert improvements["power_avg_w"][0] < 0.4
+
+    predictor = JobFeaturePredictor("duration").training(train_records)
+    benchmark(predictor.inference, test_records)

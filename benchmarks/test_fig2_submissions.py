@@ -1,0 +1,36 @@
+"""F2 — Figure 2: job submission distribution over time.
+
+Uniform submission rate (with weekly modulation) plus the early-February
+maintenance shutdown.  Benchmarks the per-day aggregation over the full
+trace.
+"""
+
+import numpy as np
+
+from repro.analysis.distributions import detect_maintenance_gap, jobs_per_day
+from repro.evaluation.reporting import ascii_series
+from repro.fugaku.workload import APR_1, FEB_1, WorkloadConfig
+
+
+def test_fig2_submission_distribution(benchmark, trace):
+    days, counts = benchmark(jobs_per_day, trace, APR_1)
+
+    print()
+    print(ascii_series(days.tolist(), counts, label="Fig 2 - submissions/day"))
+    gap = detect_maintenance_gap(counts)
+    print(f"maintenance days detected: {gap}")
+
+    # volume and span
+    assert counts.sum() == len(trace)
+    assert counts[:FEB_1].min() > 0  # continuous submissions before February
+
+    # the scheduled maintenance dip (paper: a few days in early February)
+    lo, hi = WorkloadConfig().maintenance_days
+    assert set(range(lo, hi)) <= set(gap)
+    assert FEB_1 <= lo < hi <= FEB_1 + 10
+
+    # otherwise roughly uniform: non-maintenance days stay within a factor
+    # ~4 band around the median
+    normal = np.delete(counts, np.arange(lo, hi))
+    med = np.median(normal)
+    assert np.mean((normal > med / 4) & (normal < med * 4)) > 0.95

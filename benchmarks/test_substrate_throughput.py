@@ -1,0 +1,46 @@
+"""Substrate micro-benchmarks: storage fetch, characterization, encoding.
+
+Not a paper figure — operational context for the pipeline: the paper
+reports ~1 us/job characterization and ~2 ms/job encoding; these benches
+record where this implementation stands on the same units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DataFetcher, JobCharacterizer, load_trace_into_db
+from repro.fugaku.workload import DAY_SECONDS
+
+
+@pytest.fixture(scope="module")
+def db(trace):
+    return load_trace_into_db(trace)
+
+
+def test_fetch_window_throughput(benchmark, db, trace):
+    """Indexed time-window SQL fetch of one day of jobs."""
+    fetcher = DataFetcher(db)
+    start = 40 * DAY_SECONDS
+    records = benchmark(
+        lambda: fetcher.fetch(start_time=start, end_time=start + DAY_SECONDS)
+    )
+    assert len(records) == len(trace.between(start, start + DAY_SECONDS))
+
+
+def test_fetch_by_id_latency(benchmark, db):
+    """Point lookup through the job_id index (the per-submission path)."""
+    fetcher = DataFetcher(db)
+    records = benchmark(lambda: fetcher.fetch(job_id=100))
+    assert len(records) == 1
+
+
+def test_characterization_throughput(benchmark, trace, characterizer):
+    """Vectorized Equations 1-5 over the whole trace (paper: ~1 us/job)."""
+    labels = benchmark(characterizer.labels_from_trace, trace)
+    assert labels.shape == (len(trace),)
+
+
+def test_single_job_characterization(benchmark, trace, characterizer):
+    record = trace.row(0).as_dict()
+    label = benchmark(characterizer.labels_from_records, [record])
+    assert label[0] in (0, 1)

@@ -1,0 +1,34 @@
+"""T1 — Table I: the Fugaku machine model and its derived ridge point.
+
+Regenerates the system-description table and benchmarks the vectorized
+roofline-attainable kernel the characterization pipeline rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.fugaku.system import FUGAKU
+from repro.roofline.model import Roofline
+
+
+def test_table1_system(benchmark):
+    rows = [
+        ["Architecture", FUGAKU.architecture],
+        ["#Nodes", f"{FUGAKU.num_nodes:,}"],
+        ["#Cores (per node)", f"{FUGAKU.cores_per_node} + {FUGAKU.assistant_cores_per_node} assistant"],
+        ["Memory (per node)", f"HBM2, {FUGAKU.memory_gib_per_node} GiB, {FUGAKU.peak_membw_gbs:.0f} GBytes/s"],
+        ["Peak Performance", f"{FUGAKU.peak_pflops_system:.0f} PFlops/s (FP64), {FUGAKU.peak_gflops_node / 1000:.2f} TFlops/s per node"],
+        ["Internal Network", FUGAKU.interconnect],
+        ["Ridge point", f"{FUGAKU.ridge_point:.2f} Flops/Byte (paper: ~3.3)"],
+    ]
+    print()
+    print(format_table(["System characteristic", "Description"], rows, title="Table I"))
+
+    assert FUGAKU.ridge_point == pytest.approx(3.30, abs=0.01)
+    assert FUGAKU.num_nodes == 158_976
+
+    rl = Roofline(FUGAKU.peak_gflops_node, FUGAKU.peak_membw_gbs)
+    ops = 10 ** np.random.default_rng(0).uniform(-3, 2, size=1_000_000)
+    out = benchmark(rl.attainable, ops)
+    assert out.shape == ops.shape

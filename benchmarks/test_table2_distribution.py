@@ -1,0 +1,35 @@
+"""T2 — Table II: distribution of job types by frequency mode.
+
+Paper values: memory:compute ≈ 3.44; 54.2% of memory-bound jobs run at
+2.0 GHz; only 30.8% of compute-bound jobs run at 2.2 GHz.
+"""
+
+from repro.analysis.tables import table2_distribution
+from repro.evaluation.reporting import format_table
+
+
+def test_table2_job_type_distribution(benchmark, trace, labels, strict):
+    t2 = benchmark(table2_distribution, trace, labels)
+
+    print()
+    print(format_table(
+        ["Frequency", "memory-bound", "compute-bound", "Total"],
+        t2.rows(),
+        title="Table II - distribution of job types",
+    ))
+    print(f"memory:compute ratio        = {t2.memory_to_compute_ratio:.2f}  (paper 3.44)")
+    print(f"memory-bound @ normal mode  = {t2.frac_memory_in_normal:.1%}  (paper 54.2%)")
+    print(f"compute-bound @ boost mode  = {t2.frac_compute_in_boost:.1%}  (paper 30.8%)")
+
+    assert t2.total == len(trace)
+
+    # memory-bound majority, around the paper's 3.4x
+    assert t2.memory_to_compute_ratio > 2.0
+    if strict:
+        assert 2.2 < t2.memory_to_compute_ratio < 6.5
+
+    # the paper's mis-configuration headline: about half the memory-bound
+    # jobs run in normal mode, while most compute-bound jobs do NOT use
+    # boost mode
+    assert 0.35 < t2.frac_memory_in_normal < 0.75
+    assert t2.frac_compute_in_boost < 0.55

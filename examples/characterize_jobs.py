@@ -1,0 +1,84 @@
+"""Characterize a workload and reproduce the paper's §IV analysis.
+
+The stand-alone characterization use of MCBound (paper artifact A2):
+labels every job of the trace with the Roofline rule, then prints the
+Fig. 2 submission series, the Fig. 3/5 roofline summaries, Table II, and
+the §V-C.d what-if impact estimate.
+
+Run:  python examples/characterize_jobs.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    class_share_per_day,
+    detect_maintenance_gap,
+    estimate_impact,
+    fig3_scatter_summary,
+    fig5_frequency_split,
+    frequency_position_association,
+    jobs_per_day,
+    table2_distribution,
+)
+from repro.core import JobCharacterizer
+from repro.evaluation.reporting import ascii_series, format_table
+from repro.fugaku import generate_trace
+from repro.fugaku.workload import APR_1
+
+
+def main(scale: float = 1 / 200) -> None:
+    trace = generate_trace(scale=scale, seed=42)
+    characterizer = JobCharacterizer()
+    labels = characterizer.labels_from_trace(trace)
+    print(f"characterized {len(trace):,} jobs "
+          f"(ridge = {characterizer.ridge_point:.2f} Flops/Byte)\n")
+
+    # -- Fig. 2: submissions over time -------------------------------------
+    days, counts = jobs_per_day(trace, n_days=APR_1)
+    print(ascii_series(days.tolist(), counts, label="Fig 2 - submissions/day"))
+    gap = detect_maintenance_gap(counts)
+    print(f"maintenance shutdown detected on days: {gap}\n")
+
+    # -- Fig. 3: the collective roofline ------------------------------------
+    fig3 = fig3_scatter_summary(trace, characterizer)
+    print("Fig 3 - collective roofline:")
+    print(f"  memory-bound share     : {fig3.frac_memory_bound:.1%}")
+    print(f"  median op intensity    : {fig3.median_op:.3f} Flops/Byte")
+    print(f"  jobs >=50% of ceiling  : {fig3.frac_near_ceiling:.1%}")
+    print(f"  jobs >=10% of ceiling  : {fig3.frac_within_decade_of_ceiling:.1%}\n")
+
+    # -- Fig. 4: class share over time ---------------------------------------
+    _, _, _, share = class_share_per_day(trace, labels, n_days=APR_1)
+    valid = np.where(np.isnan(share), np.nanmean(share), share)
+    print(ascii_series(days.tolist(), valid, label="Fig 4 - memory-bound share/day",
+                       y_range=(0.0, 1.0)))
+    print()
+
+    # -- Table II + Fig. 5 ----------------------------------------------------
+    t2 = table2_distribution(trace, labels)
+    print(format_table(
+        ["Frequency", "memory-bound", "compute-bound", "Total"],
+        t2.rows(), title="Table II - distribution of job types",
+    ))
+    print(f"\nmemory:compute ratio = {t2.memory_to_compute_ratio:.2f} (paper: 3.44)")
+    print(f"memory-bound at normal mode = {t2.frac_memory_in_normal:.1%} (paper: 54%)")
+    print(f"compute-bound at boost mode = {t2.frac_compute_in_boost:.1%} (paper: 31%)")
+    r = frequency_position_association(trace, characterizer)
+    print(f"boost-vs-position correlation = {r:+.3f} (paper Fig 5: none observable)\n")
+    for freq, summary in sorted(fig5_frequency_split(trace, characterizer).items()):
+        print(f"  {freq} GHz: {summary.n_jobs:,} jobs, "
+              f"{summary.frac_memory_bound:.1%} memory-bound")
+
+    # -- §V-C.d impact estimate ------------------------------------------------
+    est = estimate_impact(trace, labels, classifier_accuracy=0.90)
+    print("\nImpact of semi-automatic frequency selection (classifier acc 90%):")
+    print(format_table(
+        ["population", "#jobs", "per-job", "total", "energy"],
+        est.summary_rows(),
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1 / 200)

@@ -1,0 +1,62 @@
+"""Temporal distributions: Fig. 2 (submissions/day) and Fig. 4 (class share).
+
+Figure 2 of the paper shows a uniform submission rate with a dip for the
+early-February maintenance; Figure 4 shows that the memory/compute-bound
+proportion is roughly constant in time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fugaku.trace import JobTrace
+from repro.fugaku.workload import DAY_SECONDS
+from repro.roofline.characterize import MEMORY_BOUND
+
+__all__ = ["jobs_per_day", "class_share_per_day", "detect_maintenance_gap"]
+
+
+def jobs_per_day(trace: JobTrace, n_days: int | None = None):
+    """Fig. 2 series: submissions per day.
+
+    Returns ``(days, counts)`` where ``days`` are integer day indices since
+    the trace start.
+    """
+    day = (trace["submit_time"] / DAY_SECONDS).astype(np.int64)
+    if np.any(day < 0):
+        raise ValueError("negative submit times in trace")
+    n = int(n_days if n_days is not None else day.max() + 1)
+    counts = np.bincount(day, minlength=n)[:n]
+    return np.arange(n), counts
+
+
+def class_share_per_day(trace: JobTrace, labels: np.ndarray, n_days: int | None = None):
+    """Fig. 4 series: per-day counts of each class and memory-bound share.
+
+    Returns ``(days, mem_counts, comp_counts, mem_share)`` with NaN share
+    on empty days.
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(trace):
+        raise ValueError("labels length does not match trace")
+    day = (trace["submit_time"] / DAY_SECONDS).astype(np.int64)
+    n = int(n_days if n_days is not None else day.max() + 1)
+    mem = np.bincount(day[labels == MEMORY_BOUND], minlength=n)[:n]
+    comp = np.bincount(day[labels != MEMORY_BOUND], minlength=n)[:n]
+    total = mem + comp
+    with np.errstate(invalid="ignore"):
+        share = np.where(total > 0, mem / np.maximum(total, 1), np.nan)
+    return np.arange(n), mem, comp, share
+
+
+def detect_maintenance_gap(counts: np.ndarray, *, threshold: float = 0.2) -> list[int]:
+    """Days whose submission count falls below ``threshold`` x median.
+
+    Applied to the Fig. 2 series this recovers the scheduled-maintenance
+    shutdown days.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0:
+        raise ValueError("empty counts")
+    med = np.median(counts[counts > 0]) if np.any(counts > 0) else 0.0
+    return np.flatnonzero(counts < threshold * med).tolist()

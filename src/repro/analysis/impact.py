@@ -1,0 +1,120 @@
+"""System-impact estimate of §V-C.d.
+
+The paper, citing Kodama et al.'s Fugaku power-management study, assumes:
+
+- running a *memory-bound* job in normal instead of boost mode cuts its
+  power draw by ≈15% without hurting performance;
+- running a *compute-bound* job in boost instead of normal mode cuts its
+  duration by ≈10%.
+
+Given the characterized trace, the mis-configured populations are the
+memory-bound jobs submitted in boost mode and the compute-bound jobs
+submitted in normal mode; a classifier with accuracy ``a`` captures a
+fraction ``a`` of each.  The estimator reports the power, energy and
+node-hour savings semi-automatic frequency selection would have achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.job_characterizer import JobCharacterizer
+from repro.fugaku.system import BOOST_MODE_GHZ
+from repro.fugaku.trace import JobTrace
+from repro.roofline.characterize import COMPUTE_BOUND, MEMORY_BOUND
+
+__all__ = ["ImpactEstimate", "estimate_impact"]
+
+#: Per-job effects of correct frequency selection (Kodama et al. 2020).
+POWER_REDUCTION_NORMAL_MODE = 0.15
+DURATION_REDUCTION_BOOST_MODE = 0.10
+
+
+@dataclass(frozen=True)
+class ImpactEstimate:
+    """Savings from reclassifying mis-configured jobs."""
+
+    #: memory-bound jobs found running in boost mode
+    n_memory_in_boost: int
+    mean_power_w_memory_in_boost: float
+    mean_duration_s_memory_in_boost: float
+    #: compute-bound jobs found running in normal mode
+    n_compute_in_normal: int
+    mean_duration_s_compute_in_normal: float
+    #: classifier accuracy folded into the savings
+    classifier_accuracy: float
+    #: aggregate savings
+    power_saving_w_per_job: float
+    total_power_saving_mw: float
+    total_energy_saving_gj: float
+    saved_seconds_per_compute_job: float
+    total_saved_node_hours: float
+
+    def summary_rows(self) -> list[list]:
+        return [
+            ["memory-bound @ boost", self.n_memory_in_boost,
+             f"{self.power_saving_w_per_job:.0f} W/job",
+             f"{self.total_power_saving_mw:.3f} MW", f"{self.total_energy_saving_gj:.3f} GJ"],
+            ["compute-bound @ normal", self.n_compute_in_normal,
+             f"{self.saved_seconds_per_compute_job:.0f} s/job",
+             f"{self.total_saved_node_hours:.0f} node-hours", "-"],
+        ]
+
+
+def estimate_impact(
+    trace: JobTrace,
+    labels: np.ndarray | None = None,
+    *,
+    classifier_accuracy: float = 0.90,
+    characterizer: JobCharacterizer | None = None,
+) -> ImpactEstimate:
+    """Estimate the §V-C.d savings on a characterized trace."""
+    if not 0.0 < classifier_accuracy <= 1.0:
+        raise ValueError("classifier_accuracy must be in (0, 1]")
+    if labels is None:
+        characterizer = characterizer or JobCharacterizer()
+        labels = characterizer.labels_from_trace(trace)
+    labels = np.asarray(labels)
+    freq = trace["freq_req_ghz"]
+    boost = freq >= BOOST_MODE_GHZ
+
+    mem_boost = (labels == MEMORY_BOUND) & boost
+    comp_normal = (labels == COMPUTE_BOUND) & ~boost
+
+    n_mb = int(np.sum(mem_boost))
+    n_cn = int(np.sum(comp_normal))
+
+    power_mb = trace["power_avg_w"][mem_boost]
+    dur_mb = trace["duration"][mem_boost]
+    dur_cn = trace["duration"][comp_normal]
+    nodes_cn = trace["nodes_alloc"][comp_normal]
+
+    mean_power = float(power_mb.mean()) if n_mb else 0.0
+    mean_dur_mb = float(dur_mb.mean()) if n_mb else 0.0
+    mean_dur_cn = float(dur_cn.mean()) if n_cn else 0.0
+
+    a = classifier_accuracy
+    per_job_power_saving = POWER_REDUCTION_NORMAL_MODE * mean_power
+    total_power_w = a * POWER_REDUCTION_NORMAL_MODE * float(power_mb.sum())
+    total_energy_j = a * POWER_REDUCTION_NORMAL_MODE * float((power_mb * dur_mb).sum())
+
+    saved_s_per_job = DURATION_REDUCTION_BOOST_MODE * mean_dur_cn
+    total_node_hours = (
+        a * DURATION_REDUCTION_BOOST_MODE * float((dur_cn * nodes_cn).sum()) / 3600.0
+    )
+
+    return ImpactEstimate(
+        n_memory_in_boost=n_mb,
+        mean_power_w_memory_in_boost=mean_power,
+        mean_duration_s_memory_in_boost=mean_dur_mb,
+        n_compute_in_normal=n_cn,
+        mean_duration_s_compute_in_normal=mean_dur_cn,
+        classifier_accuracy=a,
+        power_saving_w_per_job=per_job_power_saving,
+        total_power_saving_mw=total_power_w / 1e6,
+        total_energy_saving_gj=total_energy_j / 1e9,
+        saved_seconds_per_compute_job=saved_s_per_job,
+        total_saved_node_hours=total_node_hours,
+    )

@@ -1,0 +1,65 @@
+"""Roofline scatter analyses: Fig. 3 (all jobs) and Fig. 5 (by frequency).
+
+Figure 3's reading: operational intensity is strongly skewed below the
+ridge point, and most jobs sit far under the ceilings with a few
+well-engineered clusters near them.  Figure 5's reading: the user-selected
+frequency shows *no observable correlation* with the job's position on the
+Roofline plane.  Both readings are reduced to statistics here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.job_characterizer import JobCharacterizer
+from repro.fugaku.system import BOOST_MODE_GHZ
+from repro.fugaku.trace import JobTrace
+from repro.roofline.binning import RooflineScatterSummary
+
+__all__ = [
+    "fig3_scatter_summary",
+    "fig5_frequency_split",
+    "frequency_position_association",
+]
+
+
+def fig3_scatter_summary(
+    trace: JobTrace, characterizer: JobCharacterizer | None = None
+) -> RooflineScatterSummary:
+    """Fig. 3: log-binned scatter + skew/ceiling statistics for all jobs."""
+    characterizer = characterizer or JobCharacterizer()
+    p, _, op, _ = characterizer.roofline_coordinates(trace)
+    return RooflineScatterSummary.from_jobs(op, p, characterizer.roofline)
+
+
+def fig5_frequency_split(
+    trace: JobTrace, characterizer: JobCharacterizer | None = None
+) -> dict[float, RooflineScatterSummary]:
+    """Fig. 5: one scatter summary per requested frequency."""
+    characterizer = characterizer or JobCharacterizer()
+    p, _, op, _ = characterizer.roofline_coordinates(trace)
+    freq = trace["freq_req_ghz"]
+    out: dict[float, RooflineScatterSummary] = {}
+    for f in np.unique(freq):
+        mask = freq == f
+        out[float(f)] = RooflineScatterSummary.from_jobs(
+            op[mask], p[mask], characterizer.roofline
+        )
+    return out
+
+
+def frequency_position_association(
+    trace: JobTrace, characterizer: JobCharacterizer | None = None
+) -> float:
+    """Point-biserial correlation between boost-mode choice and log10(op).
+
+    Values near 0 encode Fig. 5's finding that users' frequency choice
+    does not track the job's roofline position.
+    """
+    characterizer = characterizer or JobCharacterizer()
+    _, _, op, _ = characterizer.roofline_coordinates(trace)
+    boost = (trace["freq_req_ghz"] >= BOOST_MODE_GHZ).astype(np.float64)
+    x = np.log10(np.maximum(op, 1e-12))
+    if np.std(boost) == 0 or np.std(x) == 0:
+        return 0.0
+    return float(np.corrcoef(boost, x)[0, 1])

@@ -1,0 +1,83 @@
+"""Table II: distribution of job types by requested frequency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.job_characterizer import JobCharacterizer
+from repro.fugaku.system import BOOST_MODE_GHZ, NORMAL_MODE_GHZ
+from repro.fugaku.trace import JobTrace
+from repro.roofline.characterize import COMPUTE_BOUND, MEMORY_BOUND
+
+__all__ = ["Table2", "table2_distribution"]
+
+
+@dataclass(frozen=True)
+class Table2:
+    """The 2x2 contingency table of the paper's Table II."""
+
+    normal_memory: int
+    normal_compute: int
+    boost_memory: int
+    boost_compute: int
+
+    @property
+    def total(self) -> int:
+        return self.normal_memory + self.normal_compute + self.boost_memory + self.boost_compute
+
+    @property
+    def memory_total(self) -> int:
+        return self.normal_memory + self.boost_memory
+
+    @property
+    def compute_total(self) -> int:
+        return self.normal_compute + self.boost_compute
+
+    @property
+    def memory_to_compute_ratio(self) -> float:
+        """Paper: "around 3.5 times"."""
+        return self.memory_total / max(1, self.compute_total)
+
+    @property
+    def frac_memory_in_normal(self) -> float:
+        """Paper: ≈54% of memory-bound jobs run in normal mode."""
+        return self.normal_memory / max(1, self.memory_total)
+
+    @property
+    def frac_compute_in_boost(self) -> float:
+        """Paper: only ≈30% of compute-bound jobs run in boost mode."""
+        return self.boost_compute / max(1, self.compute_total)
+
+    def rows(self) -> list[list]:
+        """Rows formatted like the paper's table."""
+        return [
+            ["2.0 GHz (normal mode)", self.normal_memory, self.normal_compute,
+             self.normal_memory + self.normal_compute],
+            ["2.2 GHz (boost mode)", self.boost_memory, self.boost_compute,
+             self.boost_memory + self.boost_compute],
+            ["Total", self.memory_total, self.compute_total, self.total],
+        ]
+
+
+def table2_distribution(
+    trace: JobTrace,
+    labels: np.ndarray | None = None,
+    characterizer: JobCharacterizer | None = None,
+) -> Table2:
+    """Compute Table II from a trace (labels characterized if not given)."""
+    if labels is None:
+        characterizer = characterizer or JobCharacterizer()
+        labels = characterizer.labels_from_trace(trace)
+    labels = np.asarray(labels)
+    freq = trace["freq_req_ghz"]
+    normal = freq < BOOST_MODE_GHZ
+    mem = labels == MEMORY_BOUND
+    comp = labels == COMPUTE_BOUND
+    return Table2(
+        normal_memory=int(np.sum(normal & mem)),
+        normal_compute=int(np.sum(normal & comp)),
+        boost_memory=int(np.sum(~normal & mem)),
+        boost_compute=int(np.sum(~normal & comp)),
+    )

@@ -1,0 +1,137 @@
+"""Classical categorical feature encoding (the §III-B alternative).
+
+The paper's encode method "can be modified to select any subset of job
+features and to leverage any encoding technique (such as classical
+categorical mapping of feature values to integers ...)".  This module
+implements that alternative: per-feature vocabularies learned from the
+training batch, with either ordinal integer codes or one-hot blocks, so
+the NLP-vs-categorical trade-off can be measured (see the encoder
+ablation bench).
+
+Unlike the sentence embedder, categorical mapping has no notion of
+similarity between *unseen* values: a job name never seen in training
+falls into a reserved unknown bucket, which is exactly why the paper's
+NLP encoding generalizes better on a workload where new templates appear
+daily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_FEATURE_SET
+
+__all__ = ["CategoricalEncoder"]
+
+_UNKNOWN = 0  # reserved code for values not in the vocabulary
+
+
+class CategoricalEncoder:
+    """Vocabulary-based job feature encoder.
+
+    Parameters
+    ----------
+    feature_set:
+        Ordered feature names to select from each raw job record.
+    mode:
+        "ordinal" — one integer column per feature (scaled to [0, 1]);
+        "onehot" — one indicator block per feature (capped per feature).
+    max_categories:
+        Per-feature vocabulary cap; the most frequent values win.
+    """
+
+    def __init__(
+        self,
+        feature_set: Sequence[str] = DEFAULT_FEATURE_SET,
+        *,
+        mode: str = "ordinal",
+        max_categories: int = 256,
+    ) -> None:
+        if not feature_set:
+            raise ValueError("feature_set must not be empty")
+        if mode not in ("ordinal", "onehot"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if max_categories < 2:
+            raise ValueError("max_categories must be >= 2")
+        self.feature_set = tuple(feature_set)
+        self.mode = mode
+        self.max_categories = int(max_categories)
+        self.vocabularies_: dict[str, dict[str, int]] | None = None
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(self, records: Iterable[Mapping]) -> "CategoricalEncoder":
+        """Learn per-feature vocabularies from a training batch."""
+        records = list(records)
+        if not records:
+            raise ValueError("cannot fit on an empty record set")
+        vocabularies: dict[str, dict[str, int]] = {}
+        for f in self.feature_set:
+            counts: dict[str, int] = {}
+            for r in records:
+                if f not in r:
+                    raise KeyError(f"record missing feature {f!r}")
+                v = str(r[f])
+                counts[v] = counts.get(v, 0) + 1
+            top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            top = top[: self.max_categories - 1]  # code 0 reserved for unknown
+            vocabularies[f] = {v: i + 1 for i, (v, _) in enumerate(top)}
+        self.vocabularies_ = vocabularies
+        return self
+
+    @property
+    def dim(self) -> int:
+        """Width of the encoded vectors."""
+        if self.vocabularies_ is None:
+            raise RuntimeError("encoder not fitted")
+        if self.mode == "ordinal":
+            return len(self.feature_set)
+        return sum(len(v) + 1 for v in self.vocabularies_.values())
+
+    # -- encoding --------------------------------------------------------------------
+
+    def encode(self, records: Iterable[Mapping]) -> np.ndarray:
+        """Encode records into a float32 matrix."""
+        if self.vocabularies_ is None:
+            raise RuntimeError("encoder not fitted; call fit() first")
+        records = list(records)
+        n = len(records)
+        if n == 0:
+            return np.empty((0, self.dim), dtype=np.float32)
+
+        if self.mode == "ordinal":
+            out = np.zeros((n, len(self.feature_set)), dtype=np.float32)
+            for j, f in enumerate(self.feature_set):
+                vocab = self.vocabularies_[f]
+                scale = max(1, len(vocab))
+                for i, r in enumerate(records):
+                    out[i, j] = vocab.get(str(r[f]), _UNKNOWN) / scale
+            return out
+
+        out = np.zeros((n, self.dim), dtype=np.float32)
+        offset = 0
+        for f in self.feature_set:
+            vocab = self.vocabularies_[f]
+            width = len(vocab) + 1
+            for i, r in enumerate(records):
+                out[i, offset + vocab.get(str(r[f]), _UNKNOWN)] = 1.0
+            offset += width
+        return out
+
+    def unknown_rate(self, records: Iterable[Mapping]) -> float:
+        """Fraction of feature values falling into the unknown bucket."""
+        if self.vocabularies_ is None:
+            raise RuntimeError("encoder not fitted")
+        records = list(records)
+        if not records:
+            return 0.0
+        unknown = total = 0
+        for f in self.feature_set:
+            vocab = self.vocabularies_[f]
+            for r in records:
+                total += 1
+                if str(r[f]) not in vocab:
+                    unknown += 1
+        return unknown / total

@@ -1,0 +1,165 @@
+"""The MCBound facade: the four components wired together (paper Fig. 1).
+
+Owns the Data Fetcher, Feature Encoder, Job Characterizer and the current
+Classification Model instance, plus the two caches the paper's Fugaku
+implementation keeps (§V-A): characterizations and encodings computed by
+one workflow trigger are reused by later triggers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classification_model import ClassificationModel
+from repro.core.config import MCBoundConfig
+from repro.core.data_fetcher import DataFetcher
+from repro.core.feature_encoder import FeatureEncoder
+from repro.core.job_characterizer import JobCharacterizer
+from repro.core.registry import ModelStore
+from repro.mlcore.base import NotFittedError
+from repro.nlp.embedder import SentenceEmbedder
+from repro.storage.engine import Database
+
+__all__ = ["MCBound"]
+
+
+class MCBound:
+    """Online memory/compute-bound classification framework.
+
+    Parameters
+    ----------
+    config:
+        Framework configuration (machine ceilings, feature set, algorithm,
+        α/β schedule).
+    db:
+        Jobs data storage with a loaded ``jobs`` table
+        (see :func:`repro.core.data_fetcher.load_trace_into_db`).
+    model_store_root:
+        Directory for the versioned model store; None keeps models only in
+        memory.
+    """
+
+    def __init__(
+        self,
+        config: MCBoundConfig,
+        db: Database,
+        *,
+        model_store_root: str | Path | None = None,
+    ) -> None:
+        self.config = config
+        self.fetcher = DataFetcher(db)
+        self.encoder = FeatureEncoder(
+            config.feature_set,
+            SentenceEmbedder(
+                config.embedding_dim,
+                seed=config.embedder_seed,
+                use_idf=config.use_idf,
+            ),
+        )
+        self.characterizer = JobCharacterizer(
+            config.peak_gflops_node, config.peak_membw_gbs
+        )
+        self.store = ModelStore(model_store_root) if model_store_root else None
+        self.model: ClassificationModel | None = None
+        #: job_id -> ground-truth label, filled by characterization passes
+        self.label_cache: dict[int, int] = {}
+
+    # -- characterization ---------------------------------------------------------
+
+    def characterize_window(self, start_time: float, end_time: float):
+        """Label all jobs of a window; returns (job_ids, labels).
+
+        Results land in :attr:`label_cache` so retraining windows that
+        overlap previous ones do not recompute (§V-A).
+        """
+        records = self.fetcher.fetch(start_time=start_time, end_time=end_time)
+        return self._characterize_records(records)
+
+    def _characterize_records(self, records: list[dict]):
+        job_ids = np.array([r["job_id"] for r in records], dtype=np.int64)
+        labels = np.empty(len(records), dtype=np.int64)
+        fresh = [i for i, jid in enumerate(job_ids.tolist()) if jid not in self.label_cache]
+        for i, jid in enumerate(job_ids.tolist()):
+            if jid in self.label_cache:
+                labels[i] = self.label_cache[jid]
+        if fresh:
+            new_labels = self.characterizer.labels_from_records(records[i] for i in fresh)
+            for k, i in enumerate(fresh):
+                labels[i] = new_labels[k]
+                self.label_cache[int(job_ids[i])] = int(new_labels[k])
+        return job_ids, labels
+
+    # -- training -----------------------------------------------------------------------
+
+    def train(self, now: float, *, alpha_days: float | None = None) -> dict:
+        """Run one training pass on the last α days before ``now``.
+
+        Returns a summary dict (window, sample count, class balance,
+        published version).  Encodings come from the embedder cache when
+        the string was seen before.
+        """
+        alpha = alpha_days if alpha_days is not None else self.config.alpha_days
+        start = now - alpha * 86_400.0
+        records = self.fetcher.fetch(start_time=start, end_time=now)
+        if not records:
+            raise ValueError(f"no jobs in training window [{start}, {now})")
+        _, labels = self._characterize_records(records)
+        if np.unique(labels).size < 2:
+            raise ValueError("training window contains a single class")
+        if self.config.use_idf:
+            self.encoder.partial_fit_idf(records)
+        X = self.encoder.encode(records)
+        model = ClassificationModel(self.config.algorithm, **self.config.model_params)
+        model.training(X, labels)
+        self.model = model
+        version = None
+        if self.store is not None:
+            version = self.store.publish(
+                model,
+                embedder=self.encoder.embedder,
+                trained_at=now,
+                window=(start, now),
+            )
+        unique, counts = np.unique(labels, return_counts=True)
+        return {
+            "window": (start, now),
+            "n_jobs": len(records),
+            "class_counts": {int(u): int(c) for u, c in zip(unique, counts)},
+            "version": version,
+            "algorithm": self.config.algorithm,
+        }
+
+    def _require_model(self) -> ClassificationModel:
+        if self.model is None:
+            if self.store is not None and self.store.latest_version is not None:
+                self.model, _ = self.store.load()
+            else:
+                raise NotFittedError(
+                    "MCBound has no trained model; run the Training Workflow first"
+                )
+        return self.model
+
+    # -- inference ------------------------------------------------------------------------
+
+    def predict_records(self, records: list[dict]) -> np.ndarray:
+        """Labels for raw submission records (the pre-execution path)."""
+        model = self._require_model()
+        if not records:
+            return np.empty(0, dtype=np.int64)
+        X = self.encoder.encode(records)
+        return np.asarray(model.inference(X), dtype=np.int64)
+
+    def predict_window(self, start_time: float, end_time: float):
+        """Predict every job submitted in a window; returns (job_ids, labels)."""
+        records = self.fetcher.fetch(start_time=start_time, end_time=end_time)
+        job_ids = np.array([r["job_id"] for r in records], dtype=np.int64)
+        return job_ids, self.predict_records(records)
+
+    def predict_job(self, job_id: int) -> int:
+        """Predict a single newly submitted job by id."""
+        records = self.fetcher.fetch(job_id=job_id)
+        if not records:
+            raise KeyError(f"no job with id {job_id}")
+        return int(self.predict_records(records)[0])

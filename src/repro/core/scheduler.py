@@ -1,0 +1,121 @@
+"""Simulated clock and cron-style scheduling (§III-E).
+
+The paper deploys MCBound with a cronjob re-running the Training Workflow
+every β days while the Inference Workflow handles new submissions in
+between.  To replay a 90-day online deployment deterministically in
+seconds, this module provides a simulated clock and a scheduler that fires
+registered jobs in exact time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["SimClock", "CronSchedule", "Scheduler"]
+
+DAY_SECONDS = 86_400.0
+
+
+class SimClock:
+    """A monotonically advancing simulated time, in trace seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"time cannot go backwards ({t} < {self._now})")
+        self._now = float(t)
+
+
+@dataclass(frozen=True)
+class CronSchedule:
+    """Fire every ``interval_days``, first at ``start + offset_days``."""
+
+    interval_days: float
+    offset_days: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_days <= 0:
+            raise ValueError("interval_days must be positive")
+
+    def occurrences(self, start: float, end: float) -> list[float]:
+        """All fire times in ``[start, end)``."""
+        first = start + self.offset_days * DAY_SECONDS
+        step = self.interval_days * DAY_SECONDS
+        out = []
+        t = first
+        while t < end:
+            if t >= start:
+                out.append(t)
+            t += step
+        return out
+
+    def next_after(self, t: float, start: float) -> float:
+        """First fire time strictly after ``t`` given the epoch ``start``."""
+        first = start + self.offset_days * DAY_SECONDS
+        step = self.interval_days * DAY_SECONDS
+        if t < first:
+            return first
+        k = int((t - first) // step) + 1
+        nxt = first + k * step
+        # float floor can under-count k when t sits exactly on the grid,
+        # which would return t itself and loop the scheduler forever
+        while nxt <= t:
+            k += 1
+            nxt = first + k * step
+        return nxt
+
+
+class Scheduler:
+    """Deterministic event loop over a :class:`SimClock`.
+
+    Jobs are ``callback(now)`` callables attached to a
+    :class:`CronSchedule`; ties at the same instant run in registration
+    order.  ``run_until`` drives everything to an end time.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._epoch = clock.now
+        self._jobs: list[tuple[CronSchedule, Callable, int]] = []
+        self._counter = itertools.count()
+        self._fired: list[tuple[float, str]] = []
+
+    def every(self, interval_days: float, callback: Callable, *, offset_days: float = 0.0, name: str | None = None):
+        """Register a recurring job; returns its registration index."""
+        schedule = CronSchedule(interval_days, offset_days)
+        idx = next(self._counter)
+        self._jobs.append((schedule, callback, idx))
+        return idx
+
+    def run_until(self, end: float) -> list[tuple[float, int]]:
+        """Fire every due job up to (excluding) ``end``; returns the log.
+
+        The log lists ``(time, job_index)`` pairs in execution order.
+        """
+        heap: list[tuple[float, int, CronSchedule, Callable]] = []
+        for schedule, callback, idx in self._jobs:
+            t = schedule.next_after(self.clock.now - 1e-9, self._epoch)
+            if t < end:
+                heapq.heappush(heap, (t, idx, schedule, callback))
+        log: list[tuple[float, int]] = []
+        while heap:
+            t, idx, schedule, callback = heapq.heappop(heap)
+            if t >= end:
+                break
+            self.clock.advance_to(t)
+            callback(t)
+            log.append((t, idx))
+            t_next = schedule.next_after(t, self._epoch)
+            if t_next < end:
+                heapq.heappush(heap, (t_next, idx, schedule, callback))
+        self.clock.advance_to(end)
+        return log

@@ -1,0 +1,121 @@
+"""HTTP backend exposing the framework's operations (§III-E).
+
+The paper implements MCBound as a flask backend "providing APIs to perform
+the operations of the framework"; here the same API runs on
+:mod:`repro.web`.  Endpoints:
+
+- ``GET  /health``          liveness + whether a trained model is loaded
+- ``GET  /config``          the active :class:`MCBoundConfig`
+- ``POST /train``           body ``{"now": t, "alpha_days": α?}`` → training summary
+- ``POST /predict``         body ``{"jobs": [raw records]}`` or
+  ``{"start_time": t0, "end_time": t1}`` or ``{"job_id": id}`` → labels
+- ``POST /characterize``    body ``{"start_time": t0, "end_time": t1}`` or
+  ``{"jobs": [records with counters]}`` → ground-truth labels
+- ``GET  /models``          published model versions + latest
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import MCBound
+from repro.mlcore.base import NotFittedError
+from repro.roofline.characterize import LABEL_NAMES
+from repro.web.app import App, HTTPError
+
+__all__ = ["build_app"]
+
+
+def _label_payload(job_ids, labels) -> dict:
+    return {
+        "job_ids": [int(j) for j in job_ids],
+        "labels": [int(l) for l in labels],
+        "label_names": [LABEL_NAMES[int(l)] for l in labels],
+    }
+
+
+def build_app(framework: MCBound) -> App:
+    """Construct the HTTP application around one framework instance."""
+    app = App("mcbound")
+
+    @app.route("/health")
+    def health(request):
+        return {
+            "status": "ok",
+            "model_trained": framework.model is not None,
+            "algorithm": framework.config.algorithm,
+        }
+
+    @app.route("/config")
+    def config(request):
+        return framework.config.to_dict()
+
+    @app.route("/train", methods=("POST",))
+    def train(request):
+        body = request.json()
+        if "now" not in body:
+            raise HTTPError(400, "body must contain 'now' (trace seconds)")
+        alpha = body.get("alpha_days")
+        try:
+            summary = framework.train(float(body["now"]), alpha_days=alpha)
+        except ValueError as exc:
+            raise HTTPError(409, str(exc)) from exc
+        summary = dict(summary)
+        summary["window"] = list(summary["window"])
+        return summary, 201
+
+    @app.route("/predict", methods=("POST",))
+    def predict(request):
+        body = request.json()
+        try:
+            if "jobs" in body:
+                records = body["jobs"]
+                if not isinstance(records, list):
+                    raise HTTPError(400, "'jobs' must be a list of records")
+                labels = framework.predict_records(records)
+                return _label_payload(range(len(records)), labels)
+            if "job_id" in body:
+                label = framework.predict_job(int(body["job_id"]))
+                return _label_payload([body["job_id"]], [label])
+            if "start_time" in body and "end_time" in body:
+                job_ids, labels = framework.predict_window(
+                    float(body["start_time"]), float(body["end_time"])
+                )
+                return _label_payload(job_ids, labels)
+        except NotFittedError as exc:
+            raise HTTPError(503, str(exc)) from exc
+        except KeyError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        raise HTTPError(400, "body must contain 'jobs', 'job_id' or a time window")
+
+    @app.route("/characterize", methods=("POST",))
+    def characterize(request):
+        body = request.json()
+        if "start_time" in body and "end_time" in body:
+            job_ids, labels = framework.characterize_window(
+                float(body["start_time"]), float(body["end_time"])
+            )
+            return _label_payload(job_ids, labels)
+        if "jobs" in body:
+            records = body["jobs"]
+            labels = framework.characterizer.labels_from_records(records)
+            return _label_payload(range(len(records)), labels)
+        raise HTTPError(400, "body must contain 'jobs' or a time window")
+
+    @app.route("/models")
+    def models(request):
+        if framework.store is None:
+            return {"versions": [], "latest": None, "persistent": False}
+        latest = framework.store.latest_version
+        versions = list(range(1, (latest or 0) + 1))
+        return {"versions": versions, "latest": latest, "persistent": True}
+
+    @app.route("/ridge")
+    def ridge(request):
+        return {
+            "ridge_point_flops_per_byte": framework.characterizer.ridge_point,
+            "peak_gflops_node": framework.config.peak_gflops_node,
+            "peak_membw_gbs": framework.config.peak_membw_gbs,
+        }
+
+    return app

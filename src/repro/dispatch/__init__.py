@@ -1,0 +1,34 @@
+"""Job dispatching driven by MCBound predictions (§VI).
+
+The paper closes with: "We are currently developing job dispatching
+strategies that can benefit from the predictions of MCBound, aiming to
+optimize system throughput and energy efficiency."  This subpackage
+implements that consumer: an event-driven cluster simulator
+(:mod:`repro.dispatch.simulator`) whose dispatcher applies two
+prediction-guided policies:
+
+- **frequency selection** (§V-C.d): run predicted compute-bound jobs in
+  boost mode (−10% duration) and predicted memory-bound jobs in normal
+  mode (−15% power vs boost);
+- **co-scheduling** (§I, refs [8, 9]): place one memory-bound and one
+  compute-bound job on the same nodes, trading a small per-job slowdown
+  for higher throughput.
+
+Policies can consume the user's own choices, MCBound's predictions, or
+the ground-truth labels (the oracle), so the value of prediction quality
+is directly measurable.
+"""
+
+from repro.dispatch.cluster import Cluster
+from repro.dispatch.policies import FrequencyPolicy, CoschedulePolicy
+from repro.dispatch.metrics import DispatchMetrics
+from repro.dispatch.simulator import DispatchSimulator, simulate_dispatch
+
+__all__ = [
+    "Cluster",
+    "FrequencyPolicy",
+    "CoschedulePolicy",
+    "DispatchMetrics",
+    "DispatchSimulator",
+    "simulate_dispatch",
+]

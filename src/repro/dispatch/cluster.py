@@ -1,0 +1,58 @@
+"""Node pool accounting for the dispatch simulator.
+
+Nodes are fungible; the cluster tracks how many are free and which jobs
+occupy how many.  A co-scheduled pair shares one node allocation (the
+whole point of pairing memory- with compute-bound jobs: they saturate
+different resources of the same node).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A pool of identical nodes with simple counting allocation."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = int(n_nodes)
+        self._free = int(n_nodes)
+        self._allocations: dict[int, int] = {}  # allocation id -> nodes
+
+    @property
+    def free_nodes(self) -> int:
+        return self._free
+
+    @property
+    def used_nodes(self) -> int:
+        return self.n_nodes - self._free
+
+    def can_allocate(self, nodes: int) -> bool:
+        return 0 < nodes <= self._free
+
+    def allocate(self, alloc_id: int, nodes: int) -> None:
+        """Reserve ``nodes`` under ``alloc_id`` (must fit)."""
+        if nodes < 1:
+            raise ValueError("allocation must use at least one node")
+        if nodes > self._free:
+            raise RuntimeError(
+                f"allocation of {nodes} nodes exceeds {self._free} free"
+            )
+        if alloc_id in self._allocations:
+            raise RuntimeError(f"allocation id {alloc_id} already active")
+        self._allocations[alloc_id] = nodes
+        self._free -= nodes
+
+    def release(self, alloc_id: int) -> int:
+        """Free an allocation; returns the node count released."""
+        nodes = self._allocations.pop(alloc_id, None)
+        if nodes is None:
+            raise KeyError(f"no active allocation {alloc_id}")
+        self._free += nodes
+        return nodes
+
+    @property
+    def active_allocations(self) -> int:
+        return len(self._allocations)

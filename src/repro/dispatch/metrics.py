@@ -1,0 +1,46 @@
+"""Outcome metrics of a dispatch simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DispatchMetrics"]
+
+
+@dataclass(frozen=True)
+class DispatchMetrics:
+    """What a dispatch run produced.
+
+    Attributes
+    ----------
+    n_jobs: jobs completed.
+    makespan_s: time from first arrival to last completion.
+    mean_wait_s: mean queue wait (start - submit).
+    total_energy_gj: Σ power × duration over all jobs, in GJ.
+    total_node_seconds: Σ nodes × occupancy duration (allocated node time).
+    n_coscheduled: jobs that ran in a shared-node pair.
+    n_contention_pairs: pairs whose true classes were NOT complementary.
+    """
+
+    n_jobs: int
+    makespan_s: float
+    mean_wait_s: float
+    total_energy_gj: float
+    total_node_seconds: float
+    n_coscheduled: int
+    n_contention_pairs: int
+
+    @property
+    def node_hours(self) -> float:
+        return self.total_node_seconds / 3600.0
+
+    def summary_row(self, name: str) -> list:
+        return [
+            name,
+            self.n_jobs,
+            f"{self.makespan_s / 3600:.1f} h",
+            f"{self.mean_wait_s:.0f} s",
+            f"{self.total_energy_gj:.3f} GJ",
+            f"{self.node_hours:,.0f} nh",
+            self.n_coscheduled,
+        ]

@@ -1,0 +1,165 @@
+"""The three experiments of §V-B/C, as reusable sweep functions.
+
+Each sweep returns plain dicts keyed by configuration so the benchmark
+harness can print paper-style tables and EXPERIMENTS.md can record
+paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.online import OnlineEvaluator, OnlineRunResult
+
+__all__ = [
+    "ModelSpec",
+    "PAPER_THETA_SEEDS",
+    "PAPER_ALPHAS",
+    "PAPER_BETAS",
+    "sweep_alpha_beta",
+    "alpha_plus_experiment",
+    "sweep_theta",
+    "baseline_comparison",
+]
+
+#: The 5 random seeds the paper uses for θ subsampling (§V-C footnote 11).
+PAPER_THETA_SEEDS: tuple[int, ...] = (520, 90, 1905, 7, 22)
+
+#: Fig. 6 grids.
+PAPER_ALPHAS: tuple[int, ...] = (15, 30, 45, 60)
+PAPER_BETAS: tuple[int, ...] = (1, 2, 5, 10)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An algorithm + constructor params + display name."""
+
+    name: str
+    algorithm: str
+    params: dict = field(default_factory=dict)
+
+    #: the paper's best window per model (§V-C.d)
+    @property
+    def best_alpha(self) -> int:
+        return 15 if self.algorithm.upper() == "RF" else 30
+
+
+def sweep_alpha_beta(
+    evaluator: OnlineEvaluator,
+    spec: ModelSpec,
+    *,
+    alphas=PAPER_ALPHAS,
+    betas=PAPER_BETAS,
+) -> dict[tuple[int, int], OnlineRunResult]:
+    """Experiment 1 (Fig. 6, and Figs. 7-8 at β=1): the α × β grid."""
+    results: dict[tuple[int, int], OnlineRunResult] = {}
+    for alpha in alphas:
+        for beta in betas:
+            results[(alpha, beta)] = evaluator.evaluate(
+                spec.algorithm,
+                spec.params,
+                alpha=alpha,
+                beta=beta,
+                model_name=spec.name,
+            )
+    return results
+
+
+def alpha_plus_experiment(
+    evaluator: OnlineEvaluator,
+    spec: ModelSpec,
+    *,
+    alpha_best: int | None = None,
+    beta: int = 1,
+) -> dict[str, OnlineRunResult]:
+    """Experiment 2 (§V-C.b): sliding α window vs growing α+ window."""
+    alpha_best = alpha_best if alpha_best is not None else spec.best_alpha
+    sliding = evaluator.evaluate(
+        spec.algorithm, spec.params, alpha=alpha_best, beta=beta, model_name=spec.name
+    )
+    growing = evaluator.evaluate(
+        spec.algorithm,
+        spec.params,
+        alpha=("plus", alpha_best),
+        beta=beta,
+        model_name=spec.name,
+    )
+    return {"sliding": sliding, "plus": growing}
+
+
+def sweep_theta(
+    evaluator: OnlineEvaluator,
+    spec: ModelSpec,
+    *,
+    thetas,
+    alpha: int | None = None,
+    beta: int = 1,
+    seeds=PAPER_THETA_SEEDS,
+) -> dict[tuple[int, str], dict]:
+    """Experiment 3 (Figs. 9-10): θ-subsampled retraining.
+
+    Random sampling is repeated over the paper's 5 seeds and averaged;
+    latest sampling is deterministic.  Returns, per (θ, sampling), a dict
+    with the mean F1, its stddev over seeds, and the individual runs.
+    """
+    alpha = alpha if alpha is not None else spec.best_alpha
+    out: dict[tuple[int, str], dict] = {}
+    for theta in thetas:
+        runs = [
+            evaluator.evaluate(
+                spec.algorithm,
+                spec.params,
+                alpha=alpha,
+                beta=beta,
+                theta=int(theta),
+                sampling="random",
+                seed=seed,
+                model_name=spec.name,
+            )
+            for seed in seeds
+        ]
+        out[(int(theta), "random")] = {
+            "f1_mean": float(np.mean([r.f1 for r in runs])),
+            "f1_std": float(np.std([r.f1 for r in runs])),
+            "runs": runs,
+        }
+        latest = evaluator.evaluate(
+            spec.algorithm,
+            spec.params,
+            alpha=alpha,
+            beta=beta,
+            theta=int(theta),
+            sampling="latest",
+            model_name=spec.name,
+        )
+        out[(int(theta), "latest")] = {
+            "f1_mean": latest.f1,
+            "f1_std": 0.0,
+            "runs": [latest],
+        }
+    return out
+
+
+def baseline_comparison(
+    evaluator: OnlineEvaluator,
+    spec: ModelSpec,
+    *,
+    alpha: int | None = None,
+    beta: int = 1,
+) -> dict[str, OnlineRunResult]:
+    """§V-C.a closing comparison: the full model vs the lookup baseline.
+
+    The baseline runs with the best KNN settings (α=30, β=1) as the paper
+    does.
+    """
+    model_run = evaluator.evaluate(
+        spec.algorithm,
+        spec.params,
+        alpha=alpha if alpha is not None else spec.best_alpha,
+        beta=beta,
+        model_name=spec.name,
+    )
+    baseline_run = evaluator.evaluate_baseline(alpha=30.0, beta=beta)
+    return {"model": model_run, "baseline": baseline_run}

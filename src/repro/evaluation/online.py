@@ -1,0 +1,367 @@
+"""The online prediction algorithm evaluation loop (§V-B).
+
+Models are trained on sliding windows of the recent past and tested
+day-by-day on the following month: on each test day ``d``
+
+- if ``(d - test_start) % beta == 0`` the model is retrained on the jobs
+  submitted in the last α days (optionally a θ-subsample of them, sampled
+  at random or by most recent completion — the §V-C.c experiment);
+- the jobs submitted on day ``d`` are predicted with the current model.
+
+Macro-F1 is computed once, at the end of the test period, over all
+predictions — matching the paper's ``evaluate`` script.
+
+Characterizations and feature encodings are computed once for the whole
+trace up front and reused by every retraining trigger; the paper's Fugaku
+implementation does exactly this caching across workflow triggers (§V-A),
+which is also why encoding time is excluded from training time but
+included in inference time (its §V-B accounting — we follow it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classification_model import ClassificationModel
+from repro.core.feature_encoder import FeatureEncoder
+from repro.core.job_characterizer import JobCharacterizer
+from repro.fugaku.trace import JobTrace
+from repro.fugaku.workload import DAY_SECONDS, FEB_1, MAR_1
+from repro.mlcore.baseline import LookupTableBaseline
+from repro.mlcore.metrics import accuracy_score, f1_macro
+
+__all__ = ["OnlineRunResult", "OnlineEvaluator"]
+
+
+@dataclass(frozen=True)
+class OnlineRunResult:
+    """Outcome of one online evaluation run."""
+
+    model_name: str
+    alpha: object  # days, or ("plus", alpha_init)
+    beta: float
+    theta: int | None
+    sampling: str
+    seed: int | None
+    f1: float
+    accuracy: float
+    n_test_jobs: int
+    n_retrainings: int
+    train_times: tuple[float, ...]
+    predict_times: tuple[float, ...]
+    encode_time_per_job: float
+    train_sizes: tuple[int, ...]
+    per_day_f1: tuple[float, ...] = field(default=())
+
+    @property
+    def mean_train_time(self) -> float:
+        """Average per-trigger training time (Fig. 7)."""
+        return float(np.mean(self.train_times)) if self.train_times else 0.0
+
+    @property
+    def mean_inference_time_per_job(self) -> float:
+        """Average per-job inference time including encoding (Fig. 8)."""
+        n = self.n_test_jobs
+        predict = sum(self.predict_times) / n if n else 0.0
+        return predict + self.encode_time_per_job
+
+
+class OnlineEvaluator:
+    """Precomputed trace state + the day-by-day evaluation loop.
+
+    Parameters
+    ----------
+    trace:
+        The full job trace (training history + test period).
+    encoder / characterizer:
+        Pipeline components; defaults construct the paper's configuration.
+    test_start_day / test_end_day:
+        Test window in day indices; defaults to February 2024 (days 62-91
+        of the trace), the paper's test month.
+    """
+
+    def __init__(
+        self,
+        trace: JobTrace,
+        *,
+        encoder: FeatureEncoder | None = None,
+        characterizer: JobCharacterizer | None = None,
+        test_start_day: int = FEB_1,
+        test_end_day: int = MAR_1,
+    ) -> None:
+        if test_end_day <= test_start_day:
+            raise ValueError("empty test window")
+        self.trace = trace
+        self.encoder = encoder or FeatureEncoder()
+        self.characterizer = characterizer or JobCharacterizer()
+        self.test_start_day = int(test_start_day)
+        self.test_end_day = int(test_end_day)
+
+        self.submit_day = trace["submit_time"] / DAY_SECONDS
+        self.end_time = trace["end_time"]
+        self.y = self.characterizer.labels_from_trace(trace)
+
+        strings = self.encoder.feature_strings_from_trace(trace)
+        t0 = time.perf_counter()
+        self.X = self.encoder.encode_trace(trace)
+        encode_wall = time.perf_counter() - t0
+        #: mean per-job encoding cost over the whole trace (cache included),
+        #: the component dominating Fig. 8's inference time.
+        self.encode_time_per_job = encode_wall / max(1, len(trace))
+        self._strings = strings
+
+        order = np.argsort(self.submit_day, kind="stable")
+        if not np.array_equal(order, np.arange(len(trace))):
+            raise ValueError("trace must be sorted by submit_time")
+
+        # per-test-day index slices
+        self._day_indices: dict[int, np.ndarray] = {}
+        for d in range(self.test_start_day, self.test_end_day):
+            self._day_indices[d] = np.flatnonzero(
+                (self.submit_day >= d) & (self.submit_day < d + 1)
+            )
+
+    # -- window selection -------------------------------------------------------
+
+    def _training_indices(self, day: int, alpha) -> np.ndarray:
+        """Indices of the α-window (or α+ growing window) ending at ``day``."""
+        if isinstance(alpha, tuple) and alpha[0] == "plus":
+            start = self.test_start_day - float(alpha[1])
+        else:
+            start = day - float(alpha)
+        return np.flatnonzero((self.submit_day >= start) & (self.submit_day < day))
+
+    def _subsample(
+        self, idx: np.ndarray, theta: int | None, sampling: str, rng: np.random.Generator
+    ) -> np.ndarray:
+        """θ-subsample a training window at random or by most recent end time."""
+        if theta is None or idx.size <= theta:
+            return idx
+        if sampling == "random":
+            return rng.choice(idx, size=theta, replace=False)
+        if sampling == "latest":
+            order = np.argsort(self.end_time[idx], kind="stable")
+            return idx[order[-theta:]]
+        raise ValueError(f"unknown sampling {sampling!r}")
+
+    # -- the loop -------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        algorithm: str,
+        model_params: dict | None = None,
+        *,
+        alpha,
+        beta: float,
+        theta: int | None = None,
+        sampling: str = "random",
+        seed: int | None = None,
+        model_name: str | None = None,
+    ) -> OnlineRunResult:
+        """Run the online loop for one configuration.
+
+        ``alpha`` is a window length in days or ``("plus", alpha_init)``
+        for the growing window of §V-C.b.  ``theta`` caps the training set
+        size by subsampling (§V-C.c).
+        """
+        if beta < 1:
+            raise ValueError("beta must be >= 1 day (the paper avoids beta=0)")
+        model_params = dict(model_params or {})
+        rng = np.random.default_rng(seed)
+        model: ClassificationModel | None = None
+        train_times: list[float] = []
+        train_sizes: list[int] = []
+        predict_times: list[float] = []
+        preds: list[np.ndarray] = []
+        trues: list[np.ndarray] = []
+        per_day_f1: list[float] = []
+
+        for day in range(self.test_start_day, self.test_end_day):
+            if (day - self.test_start_day) % beta == 0:
+                idx = self._training_indices(day, alpha)
+                idx = self._subsample(idx, theta, sampling, rng)
+                if idx.size >= 2 and np.unique(self.y[idx]).size >= 2:
+                    candidate = ClassificationModel(algorithm, **model_params)
+                    t0 = time.perf_counter()
+                    candidate.training(self.X[idx], self.y[idx])
+                    train_times.append(time.perf_counter() - t0)
+                    train_sizes.append(int(idx.size))
+                    model = candidate
+            test_idx = self._day_indices[day]
+            if test_idx.size == 0 or model is None:
+                continue
+            t0 = time.perf_counter()
+            p = model.inference(self.X[test_idx])
+            predict_times.append(time.perf_counter() - t0)
+            preds.append(np.asarray(p))
+            trues.append(self.y[test_idx])
+            if np.unique(self.y[test_idx]).size >= 2:
+                per_day_f1.append(f1_macro(self.y[test_idx], p))
+
+        if not preds:
+            raise RuntimeError("no predictions were produced (empty test period?)")
+        y_pred = np.concatenate(preds)
+        y_true = np.concatenate(trues)
+        return OnlineRunResult(
+            model_name=model_name or algorithm,
+            alpha=alpha,
+            beta=beta,
+            theta=theta,
+            sampling=sampling,
+            seed=seed,
+            f1=f1_macro(y_true, y_pred),
+            accuracy=accuracy_score(y_true, y_pred),
+            n_test_jobs=int(y_true.size),
+            n_retrainings=len(train_times),
+            train_times=tuple(train_times),
+            predict_times=tuple(predict_times),
+            encode_time_per_job=self.encode_time_per_job,
+            train_sizes=tuple(train_sizes),
+            per_day_f1=tuple(per_day_f1),
+        )
+
+    # -- drift-triggered retraining (adaptive beta) ---------------------------------
+
+    def evaluate_adaptive(
+        self,
+        algorithm: str,
+        model_params: dict | None = None,
+        *,
+        alpha,
+        policy,
+        model_name: str | None = None,
+    ):
+        """Online loop with drift-triggered retraining.
+
+        Replaces the fixed β cadence with an
+        :class:`~repro.evaluation.drift.AdaptiveRetrainingPolicy`: each
+        day's incoming submissions are scored against the current training
+        window by the embedding drift detector, and the model is retrained
+        only when the policy fires (or its staleness deadline passes).
+
+        Returns ``(OnlineRunResult, per_day_drift_scores)``; the result's
+        ``sampling`` field is ``"adaptive"`` and ``beta`` is NaN.
+        """
+        from repro.evaluation.drift import EmbeddingDriftDetector
+
+        model_params = dict(model_params or {})
+        model: ClassificationModel | None = None
+        detector: EmbeddingDriftDetector | None = None
+        days_since = float("inf")
+        train_times: list[float] = []
+        train_sizes: list[int] = []
+        predict_times: list[float] = []
+        drift_scores: list[float] = []
+        preds: list[np.ndarray] = []
+        trues: list[np.ndarray] = []
+
+        for day in range(self.test_start_day, self.test_end_day):
+            test_idx = self._day_indices[day]
+            score = None
+            if detector is not None and test_idx.size:
+                score = detector.score(self.X[test_idx])
+            drift_scores.append(score if score is not None else float("nan"))
+
+            if policy.should_retrain(score, days_since, int(test_idx.size)):
+                idx = self._training_indices(day, alpha)
+                if idx.size >= 2 and np.unique(self.y[idx]).size >= 2:
+                    candidate = ClassificationModel(algorithm, **model_params)
+                    t0 = time.perf_counter()
+                    candidate.training(self.X[idx], self.y[idx])
+                    train_times.append(time.perf_counter() - t0)
+                    train_sizes.append(int(idx.size))
+                    model = candidate
+                    detector = EmbeddingDriftDetector(self.X[idx])
+                    days_since = 0.0
+
+            if test_idx.size == 0 or model is None:
+                days_since += 1.0
+                continue
+            t0 = time.perf_counter()
+            p = model.inference(self.X[test_idx])
+            predict_times.append(time.perf_counter() - t0)
+            preds.append(np.asarray(p))
+            trues.append(self.y[test_idx])
+            days_since += 1.0
+
+        if not preds:
+            raise RuntimeError("adaptive loop produced no predictions")
+        y_pred = np.concatenate(preds)
+        y_true = np.concatenate(trues)
+        result = OnlineRunResult(
+            model_name=model_name or algorithm,
+            alpha=alpha,
+            beta=float("nan"),
+            theta=None,
+            sampling="adaptive",
+            seed=None,
+            f1=f1_macro(y_true, y_pred),
+            accuracy=accuracy_score(y_true, y_pred),
+            n_test_jobs=int(y_true.size),
+            n_retrainings=len(train_times),
+            train_times=tuple(train_times),
+            predict_times=tuple(predict_times),
+            encode_time_per_job=self.encode_time_per_job,
+            train_sizes=tuple(train_sizes),
+        )
+        return result, drift_scores
+
+    # -- the §V-C.a lookup baseline ------------------------------------------------------
+
+    def evaluate_baseline(
+        self,
+        *,
+        alpha: float = 30.0,
+        beta: float = 1.0,
+        key_columns: tuple[str, str] = ("job_name", "cores_req"),
+    ) -> OnlineRunResult:
+        """Online loop for the (job name, #cores) lookup baseline."""
+        keys = list(zip(*(self.trace[c].tolist() for c in key_columns)))
+        model: LookupTableBaseline | None = None
+        train_times: list[float] = []
+        train_sizes: list[int] = []
+        predict_times: list[float] = []
+        preds: list[np.ndarray] = []
+        trues: list[np.ndarray] = []
+
+        for day in range(self.test_start_day, self.test_end_day):
+            if (day - self.test_start_day) % beta == 0:
+                idx = self._training_indices(day, alpha)
+                if idx.size >= 1:
+                    candidate = LookupTableBaseline()
+                    t0 = time.perf_counter()
+                    candidate.fit([keys[i] for i in idx.tolist()], self.y[idx])
+                    train_times.append(time.perf_counter() - t0)
+                    train_sizes.append(int(idx.size))
+                    model = candidate
+            test_idx = self._day_indices[day]
+            if test_idx.size == 0 or model is None:
+                continue
+            t0 = time.perf_counter()
+            p = model.predict([keys[i] for i in test_idx.tolist()])
+            predict_times.append(time.perf_counter() - t0)
+            preds.append(p)
+            trues.append(self.y[test_idx])
+
+        y_pred = np.concatenate(preds)
+        y_true = np.concatenate(trues)
+        return OnlineRunResult(
+            model_name="baseline",
+            alpha=alpha,
+            beta=beta,
+            theta=None,
+            sampling="none",
+            seed=None,
+            f1=f1_macro(y_true, y_pred),
+            accuracy=accuracy_score(y_true, y_pred),
+            n_test_jobs=int(y_true.size),
+            n_retrainings=len(train_times),
+            train_times=tuple(train_times),
+            predict_times=tuple(predict_times),
+            encode_time_per_job=0.0,
+            train_sizes=tuple(train_sizes),
+        )
+

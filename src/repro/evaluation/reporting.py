@@ -1,0 +1,127 @@
+"""Text tables, ASCII series plots and CSV dumps for the bench harness.
+
+The paper's figures are regenerated headlessly: every bench prints the
+same rows/series the figure encodes, so shape comparisons (who wins, by
+how much, where trends bend) are possible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_series", "ascii_heatmap", "results_to_csv"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None) -> str:
+    """Fixed-width text table.
+
+    Cells are rendered with ``str``; floats get 4 significant decimals.
+    """
+
+    def render(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence,
+    y: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """A tiny ASCII line chart of one series (figures' visual stand-in)."""
+    y = np.asarray(list(y), dtype=np.float64)
+    if y.size == 0:
+        raise ValueError("empty series")
+    lo, hi = y_range if y_range is not None else (float(y.min()), float(y.max()))
+    if hi <= lo:
+        hi = lo + 1.0
+    cols = np.linspace(0, width - 1, y.size).astype(int)
+    rows = ((y - lo) / (hi - lo) * (height - 1)).round().astype(int)
+    rows = np.clip(rows, 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = "*"
+    lines = [f"{label} [{lo:.4g}, {hi:.4g}]".lstrip()]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    xs = [str(x[0]), str(x[len(x) // 2]), str(x[-1])]
+    lines.append(" " + xs[0] + xs[1].rjust(width // 2 - len(xs[0]) + len(xs[1]) // 2) + xs[2].rjust(width - width // 2 - len(xs[1]) // 2))
+    return "\n".join(lines)
+
+
+def results_to_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Write rows to a CSV file (no quoting needs beyond commas)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = []
+        for c in row:
+            s = f"{c:.6g}" if isinstance(c, float) else str(c)
+            if "," in s:
+                s = '"' + s.replace('"', '""') + '"'
+            cells.append(s)
+        lines.append(",".join(cells))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def ascii_heatmap(
+    counts: np.ndarray,
+    *,
+    width: int = 60,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Density shading of a 2-D histogram (the figures' scatter stand-in).
+
+    ``counts[i, j]`` maps x-bins to rows of characters; darker glyphs mean
+    more mass (log-scaled).  Rows are printed with the y axis pointing up.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 2-D array")
+    # resample to the target character grid by block sums
+    def resample(n_src: int, n_dst: int) -> np.ndarray:
+        return np.minimum((np.arange(n_src) * n_dst) // n_src, n_dst - 1)
+
+    xi = resample(counts.shape[0], width)
+    yi = resample(counts.shape[1], height)
+    grid = np.zeros((width, height))
+    for i in range(counts.shape[0]):
+        for j in range(counts.shape[1]):
+            grid[xi[i], yi[j]] += counts[i, j]
+    glyphs = " .:-=+*#%@"
+    with np.errstate(divide="ignore"):
+        level = np.log1p(grid)
+    top = level.max() or 1.0
+    idx = np.clip((level / top * (len(glyphs) - 1)).astype(int), 0, len(glyphs) - 1)
+    lines = [label] if label else []
+    for row in range(height - 1, -1, -1):
+        lines.append("|" + "".join(glyphs[idx[c, row]] for c in range(width)))
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Timer", "time_call"]
+
+
+class Timer:
+    """Context manager recording elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+def time_call(fn: Callable, *args, **kwargs):
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0

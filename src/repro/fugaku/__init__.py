@@ -1,0 +1,51 @@
+"""Fugaku system model and synthetic workload substrate.
+
+The paper characterizes 2.2 million real job runs extracted from the
+Supercomputer Fugaku's operational database (the F-DATA trace).  That trace
+is not available offline, so this subpackage provides:
+
+- :mod:`repro.fugaku.system` — the machine model (Table I of the paper):
+  node counts, per-node peak FP64 performance and HBM2 bandwidth, the A64FX
+  core-memory-group (CMG) layout and the derived Roofline ridge point.
+- :mod:`repro.fugaku.counters` — the A64FX PMU counter semantics used by the
+  paper (``perf2``..``perf5``) with the *exact* Equations 4 and 5 mapping
+  counters to ``#flops`` and ``#moved_memory_bytes``, plus the inverse
+  mapping used to synthesize counters from a target Roofline placement.
+- :mod:`repro.fugaku.apps` — a catalog of application archetypes with
+  characteristic operational-intensity distributions.
+- :mod:`repro.fugaku.users` — the user/project population model.
+- :mod:`repro.fugaku.workload` — the generative workload model calibrated to
+  every published statistic of the trace (see DESIGN.md §2).
+- :mod:`repro.fugaku.trace` — the :class:`JobRecord` container and a simple
+  column-oriented trace store with (de)serialization.
+"""
+
+from repro.fugaku.system import FugakuSpec, FUGAKU
+from repro.fugaku.counters import (
+    CounterSet,
+    flops_from_counters,
+    moved_bytes_from_counters,
+    counters_from_flops_bytes,
+)
+from repro.fugaku.apps import AppArchetype, APP_CATALOG, build_catalog
+from repro.fugaku.users import UserPopulation
+from repro.fugaku.workload import WorkloadConfig, WorkloadGenerator, generate_trace
+from repro.fugaku.trace import JobRecord, JobTrace
+
+__all__ = [
+    "FugakuSpec",
+    "FUGAKU",
+    "CounterSet",
+    "flops_from_counters",
+    "moved_bytes_from_counters",
+    "counters_from_flops_bytes",
+    "AppArchetype",
+    "APP_CATALOG",
+    "build_catalog",
+    "UserPopulation",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "generate_trace",
+    "JobRecord",
+    "JobTrace",
+]

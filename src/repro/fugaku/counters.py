@@ -1,0 +1,132 @@
+"""A64FX PMU counter semantics (paper §IV-B, Equations 4 and 5).
+
+Fugaku's operational database stores four performance counters per job:
+
+- ``perf2`` — ``FP_FIXED_OPS_SPEC``: fixed (non-SVE) floating point ops.
+- ``perf3`` — ``FP_SCALE_OPS_SPEC``: floating point ops *per 128-bit SVE
+  slice*; the A64FX is 512-bit SVE so the true count is ``perf3 * 4``.
+- ``perf4`` — ``BUS_READ_TOTAL_MEM``: memory-bus read requests.
+- ``perf5`` — ``BUS_WRITE_TOTAL_MEM``: memory-bus write requests.
+
+Each bus request moves one 256-byte cache line.  The bus counters are
+recorded per core but every core of a 12-core Core Memory Group (CMG)
+reports the whole-CMG value, so the per-core sum over-counts by 12x.
+
+The paper computes (Equations 4, 5)::
+
+    #flops               = perf2 + perf3 * 4
+    #moved_memory_bytes  = (perf4 + perf5) * 256 / 12
+
+This module implements that mapping *and its inverse*.  The inverse is what
+lets the synthetic workload generator place a job at a chosen point of the
+Roofline plane and then emit raw counters, so the characterization pipeline
+downstream runs on exactly the same code path it would on real Fugaku data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fugaku.system import FugakuSpec, FUGAKU
+
+__all__ = [
+    "CounterSet",
+    "flops_from_counters",
+    "moved_bytes_from_counters",
+    "counters_from_flops_bytes",
+]
+
+
+@dataclass(frozen=True)
+class CounterSet:
+    """Raw per-job PMU counter values as stored in the jobs data storage.
+
+    Values are job-wide totals (already summed over cores and nodes), which
+    matches how Fugaku's operations software aggregates them.
+    """
+
+    perf2: float  # FP_FIXED_OPS_SPEC
+    perf3: float  # FP_SCALE_OPS_SPEC (per 128-bit SVE slice)
+    perf4: float  # BUS_READ_TOTAL_MEM
+    perf5: float  # BUS_WRITE_TOTAL_MEM
+
+    def __post_init__(self) -> None:
+        for name in ("perf2", "perf3", "perf4", "perf5"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"counter {name} must be non-negative")
+
+
+def flops_from_counters(perf2, perf3, *, spec: FugakuSpec = FUGAKU):
+    """Equation 4: total floating point operations of a job.
+
+    ``perf2`` is the fixed amount of operations, ``perf3`` counts operations
+    per 128-bit SVE slice and is scaled by the SVE width (4 on the A64FX).
+
+    Accepts scalars or numpy arrays (vectorized).
+    """
+    perf2 = np.asarray(perf2, dtype=np.float64)
+    perf3 = np.asarray(perf3, dtype=np.float64)
+    if np.any(perf2 < 0) or np.any(perf3 < 0):
+        raise ValueError("PMU counters must be non-negative")
+    out = perf2 + perf3 * spec.sve_multiplier
+    return out if out.ndim else float(out)
+
+
+def moved_bytes_from_counters(perf4, perf5, *, spec: FugakuSpec = FUGAKU):
+    """Equation 5: total bytes moved between memory and the node.
+
+    Read and write bus requests are summed, scaled by the 256-byte cache
+    line, and divided by the CMG core count (12) to undo the per-core
+    replication of the CMG-wide counter value.
+
+    Accepts scalars or numpy arrays (vectorized).
+    """
+    perf4 = np.asarray(perf4, dtype=np.float64)
+    perf5 = np.asarray(perf5, dtype=np.float64)
+    if np.any(perf4 < 0) or np.any(perf5 < 0):
+        raise ValueError("PMU counters must be non-negative")
+    out = (perf4 + perf5) * spec.cache_line_bytes / spec.cores_per_cmg
+    return out if out.ndim else float(out)
+
+
+def counters_from_flops_bytes(
+    flops,
+    moved_bytes,
+    *,
+    spec: FugakuSpec = FUGAKU,
+    sve_fraction=0.9,
+    read_fraction=0.6,
+):
+    """Inverse of Equations 4 and 5: synthesize raw counters.
+
+    Splits ``flops`` into fixed vs SVE ops (``sve_fraction`` of flops are
+    performed by SVE instructions) and ``moved_bytes`` into read vs write bus
+    requests (``read_fraction`` of requests are reads).  Vectorized; returns
+    four arrays (or floats for scalar input) ``perf2, perf3, perf4, perf5``
+    that round-trip through :func:`flops_from_counters` /
+    :func:`moved_bytes_from_counters` exactly (up to float rounding).
+    """
+    flops = np.asarray(flops, dtype=np.float64)
+    moved_bytes = np.asarray(moved_bytes, dtype=np.float64)
+    sve_fraction = np.asarray(sve_fraction, dtype=np.float64)
+    read_fraction = np.asarray(read_fraction, dtype=np.float64)
+    if np.any(flops < 0) or np.any(moved_bytes < 0):
+        raise ValueError("flops and moved_bytes must be non-negative")
+    if np.any((sve_fraction < 0) | (sve_fraction > 1)):
+        raise ValueError("sve_fraction must lie in [0, 1]")
+    if np.any((read_fraction < 0) | (read_fraction > 1)):
+        raise ValueError("read_fraction must lie in [0, 1]")
+
+    sve_flops = flops * sve_fraction
+    perf2 = flops - sve_flops
+    perf3 = sve_flops / spec.sve_multiplier
+
+    total_requests = moved_bytes / spec.cache_line_bytes * spec.cores_per_cmg
+    perf4 = total_requests * read_fraction
+    perf5 = total_requests - perf4
+
+    if flops.ndim == 0 and moved_bytes.ndim == 0:
+        return float(perf2), float(perf3), float(perf4), float(perf5)
+    return perf2, perf3, perf4, perf5

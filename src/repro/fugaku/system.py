@@ -1,0 +1,97 @@
+"""Machine model for the Supercomputer Fugaku (Table I of the paper).
+
+The paper's Job Characterizer is initialized with the peak FP64 performance
+and the peak memory bandwidth of a *single node*; the ridge point of the
+node-level Roofline follows as their ratio (≈ 3.3 Flops/Byte for Fugaku's
+FX1000 boost-mode configuration).  This module captures those specifics as a
+frozen dataclass so other systems can be described by constructing a
+different :class:`FugakuSpec`-shaped object (the framework is system-agnostic
+by design, paper §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Frequencies a Fugaku user may request at submission time, in GHz.
+NORMAL_MODE_GHZ = 2.0
+BOOST_MODE_GHZ = 2.2
+
+
+@dataclass(frozen=True)
+class FugakuSpec:
+    """Static description of an HPC system, defaulting to Fugaku (Table I).
+
+    Attributes mirror the rows of Table I in the paper plus the A64FX PMU
+    details of §IV-B needed to interpret performance counters.
+
+    The two attributes the Roofline characterization actually consumes are
+    :attr:`peak_gflops_node` (3380 GFlops/s FP64, FX1000 *boost* mode — the
+    paper uses the best attainable performance) and :attr:`peak_membw_gbs`
+    (1024 GBytes/s of HBM2 per node).
+    """
+
+    name: str = "Fugaku"
+    architecture: str = "Armv8.2-A SVE 512 bit"
+    os: str = "Red Hat Enterprise Linux 8"
+    num_nodes: int = 158_976
+    cores_per_node: int = 48
+    assistant_cores_per_node: int = 4
+    memory_gib_per_node: int = 32
+    #: Peak FP64 performance of one node in GFlops/s (boost mode, 2.2 GHz).
+    peak_gflops_node: float = 3380.0
+    #: Peak HBM2 memory bandwidth of one node in GBytes/s.
+    peak_membw_gbs: float = 1024.0
+    #: System-level peak performance in PFlops/s (FP64).
+    peak_pflops_system: float = 537.0
+    interconnect: str = "Tofu D Interconnect (28 Gbps)"
+    #: SVE vector width in bits; ``perf3`` counts ops per 128-bit SVE slice,
+    #: hence the ``x4`` multiplier of Equation 4.
+    sve_bits: int = 512
+    #: Cache line size in bytes; each memory bus request moves one line
+    #: (the ``x256`` multiplier of Equation 5).
+    cache_line_bytes: int = 256
+    #: Cores per Core Memory Group.  ``perf4``/``perf5`` are recorded per
+    #: core but replicate the whole-CMG value, hence the ``/12`` of Eq. 5.
+    cores_per_cmg: int = 12
+    #: Frequencies selectable at submission time, GHz.
+    frequencies_ghz: tuple[float, ...] = (NORMAL_MODE_GHZ, BOOST_MODE_GHZ)
+
+    @property
+    def sve_multiplier(self) -> int:
+        """Number of 128-bit slices per SVE vector (4 on the A64FX)."""
+        return self.sve_bits // 128
+
+    @property
+    def num_cmgs_per_node(self) -> int:
+        """Core memory groups per node (4 on Fugaku: 48 cores / 12)."""
+        return self.cores_per_node // self.cores_per_cmg
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity of the Roofline ridge point, Flops/Byte.
+
+        The minimum operational intensity at which the node can reach its
+        peak performance: ``peak_gflops_node / peak_membw_gbs`` (≈ 3.30 for
+        Fugaku).  Jobs with operational intensity above this value are
+        *compute-bound*, below (or equal) are *memory-bound*.
+        """
+        return self.peak_gflops_node / self.peak_membw_gbs
+
+    def attainable_gflops(self, operational_intensity: float) -> float:
+        """Roofline-attainable performance at a given operational intensity.
+
+        ``min(peak_perf, peak_bw * op)`` in GFlops/s.
+        """
+        if operational_intensity < 0:
+            raise ValueError("operational intensity must be non-negative")
+        return min(self.peak_gflops_node, self.peak_membw_gbs * operational_intensity)
+
+    def is_boost(self, frequency_ghz: float) -> bool:
+        """Whether a requested frequency corresponds to boost mode."""
+        return frequency_ghz >= BOOST_MODE_GHZ
+
+
+#: The default machine instance used throughout the reproduction.
+FUGAKU = FugakuSpec()

@@ -1,0 +1,214 @@
+"""Column-oriented container for job traces.
+
+The workload generator produces hundreds of thousands of jobs; the analysis
+and evaluation code slices them by time window constantly.  A plain
+list-of-dataclasses would make every slice a Python-level loop, so the trace
+is stored column-wise as numpy arrays (views, not copies, wherever numpy
+allows — see the HPC guide on avoiding copies) with row-level
+:class:`JobRecord` views materialized only at the storage boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["JobRecord", "JobTrace", "NUMERIC_COLUMNS", "STRING_COLUMNS"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job as stored in the jobs data storage.
+
+    Fields mirror what Fugaku's operations software records: submission
+    metadata (available *before* execution, used by the Feature Encoder),
+    and execution/completion data including raw PMU counters (available
+    only after completion, used by the Job Characterizer).
+    """
+
+    job_id: int
+    user_name: str
+    job_name: str
+    environment: str
+    nodes_req: int
+    cores_req: int
+    freq_req_ghz: float
+    submit_time: float
+    start_time: float
+    end_time: float
+    duration: float
+    nodes_alloc: int
+    perf2: float
+    perf3: float
+    perf4: float
+    perf5: float
+    power_avg_w: float
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Numeric trace columns and their dtypes.
+NUMERIC_COLUMNS: dict[str, np.dtype] = {
+    "job_id": np.dtype(np.int64),
+    "nodes_req": np.dtype(np.int64),
+    "cores_req": np.dtype(np.int64),
+    "nodes_alloc": np.dtype(np.int64),
+    "freq_req_ghz": np.dtype(np.float64),
+    "submit_time": np.dtype(np.float64),
+    "start_time": np.dtype(np.float64),
+    "end_time": np.dtype(np.float64),
+    "duration": np.dtype(np.float64),
+    "perf2": np.dtype(np.float64),
+    "perf3": np.dtype(np.float64),
+    "perf4": np.dtype(np.float64),
+    "perf5": np.dtype(np.float64),
+    "power_avg_w": np.dtype(np.float64),
+}
+
+#: String-valued trace columns (stored as object arrays).
+STRING_COLUMNS: tuple[str, ...] = ("user_name", "job_name", "environment")
+
+#: Generator-side diagnostic columns, present in synthetic traces only and
+#: never exposed to the MCBound pipeline (a real trace would not have them).
+DIAGNOSTIC_COLUMNS: tuple[str, ...] = ("template_id", "app")
+
+
+class JobTrace:
+    """Immutable-by-convention column store of jobs ordered by submit time.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to 1-D array-likes of equal length.  Must
+        include all of :data:`NUMERIC_COLUMNS` and :data:`STRING_COLUMNS`;
+        may include the diagnostic columns.
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        cols: dict[str, np.ndarray] = {}
+        n = None
+        for name, dtype in NUMERIC_COLUMNS.items():
+            if name not in columns:
+                raise KeyError(f"missing trace column {name!r}")
+            arr = np.asarray(columns[name]).astype(dtype, copy=False)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D")
+            if n is None:
+                n = arr.shape[0]
+            elif arr.shape[0] != n:
+                raise ValueError(f"column {name!r} length mismatch")
+            cols[name] = arr
+        for name in STRING_COLUMNS:
+            if name not in columns:
+                raise KeyError(f"missing trace column {name!r}")
+            arr = np.asarray(columns[name], dtype=object)
+            if arr.shape[0] != n:
+                raise ValueError(f"column {name!r} length mismatch")
+            cols[name] = arr
+        for name in DIAGNOSTIC_COLUMNS:
+            if name in columns:
+                arr = np.asarray(columns[name])
+                if arr.shape[0] != n:
+                    raise ValueError(f"column {name!r} length mismatch")
+                cols[name] = arr
+        self._cols = cols
+        self._n = int(n or 0)
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the column array (a view; do not mutate)."""
+        return self._cols[name]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._cols)
+
+    def row(self, i: int) -> JobRecord:
+        """Materialize row ``i`` as a :class:`JobRecord`."""
+        if not -self._n <= i < self._n:
+            raise IndexError(f"row {i} out of range for trace of {self._n}")
+        kw = {}
+        for name in NUMERIC_COLUMNS:
+            v = self._cols[name][i]
+            kw[name] = int(v) if NUMERIC_COLUMNS[name].kind == "i" else float(v)
+        for name in STRING_COLUMNS:
+            kw[name] = str(self._cols[name][i])
+        return JobRecord(**kw)
+
+    def iter_rows(self) -> Iterator[JobRecord]:
+        for i in range(self._n):
+            yield self.row(i)
+
+    # -- slicing -------------------------------------------------------------
+
+    def select(self, mask_or_index: np.ndarray) -> "JobTrace":
+        """Return a new trace with the rows selected by a mask or index array."""
+        sel = np.asarray(mask_or_index)
+        return JobTrace({k: v[sel] for k, v in self._cols.items()})
+
+    def between(self, start_time: float, end_time: float) -> "JobTrace":
+        """Rows with ``start_time <= submit_time < end_time``.
+
+        Matches the Data Fetcher contract of the paper (§III-A): the fetch
+        method retrieves "the data of all the jobs executed between
+        start_time and end_time".
+        """
+        t = self._cols["submit_time"]
+        return self.select((t >= start_time) & (t < end_time))
+
+    def sort_by_submit(self) -> "JobTrace":
+        order = np.argsort(self._cols["submit_time"], kind="stable")
+        return self.select(order)
+
+    @staticmethod
+    def concat(traces: list["JobTrace"]) -> "JobTrace":
+        """Concatenate traces row-wise (common columns only)."""
+        if not traces:
+            raise ValueError("cannot concatenate an empty list of traces")
+        common = set(traces[0].column_names)
+        for t in traces[1:]:
+            common &= set(t.column_names)
+        return JobTrace(
+            {k: np.concatenate([t[k] for t in traces]) for k in common}
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the trace to ``<path>.npz`` + ``<path>.strings.json``.
+
+        Numeric columns go to a compressed npz; string/diagnostic columns to
+        a JSON side file (keeps the archive free of pickled objects).
+        """
+        path = Path(path)
+        numeric = {k: v for k, v in self._cols.items() if v.dtype != object}
+        strings = {
+            k: [str(x) for x in v]
+            for k, v in self._cols.items()
+            if v.dtype == object
+        }
+        np.savez_compressed(path.with_suffix(".npz"), **numeric)
+        path.with_suffix(".strings.json").write_text(json.dumps(strings))
+
+    @staticmethod
+    def load(path: str | Path) -> "JobTrace":
+        """Inverse of :meth:`save`."""
+        path = Path(path)
+        with np.load(path.with_suffix(".npz")) as npz:
+            cols: dict[str, np.ndarray] = {k: npz[k] for k in npz.files}
+        strings = json.loads(path.with_suffix(".strings.json").read_text())
+        for k, v in strings.items():
+            cols[k] = np.array(v, dtype=object)
+        return JobTrace(cols)

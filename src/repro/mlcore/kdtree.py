@@ -1,0 +1,160 @@
+"""KD-tree for exact nearest-neighbour queries (from scratch).
+
+Space-partitioning trees pay off in low dimension; in the 384-dimensional
+embedding space of this reproduction the curse of dimensionality makes
+brute force with BLAS the right default (see :mod:`repro.mlcore.knn`,
+which picks the backend automatically), but the KD-tree backend is part of
+the substrate for low-dimensional feature encodings and for the backend
+ablation benchmark.
+
+Build: recursive median split along the largest-spread dimension; leaves
+hold up to ``leaf_size`` points.  Query: branch-and-bound with a bounded
+max-heap over *reduced* Minkowski distances (p-th powers, no root until
+the end), leaf scans fully vectorized.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+_LEAF = -1
+
+
+class KDTree:
+    """Exact k-NN index over an ``(n, d)`` float matrix.
+
+    Parameters
+    ----------
+    data:
+        Point matrix; a float64 copy is stored.
+    leaf_size:
+        Maximum points per leaf.
+    """
+
+    def __init__(self, data, leaf_size: int = 32) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("data must be a non-empty 2-D array")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.data = np.ascontiguousarray(data)
+        self.leaf_size = int(leaf_size)
+        n = data.shape[0]
+        self._perm = np.arange(n, dtype=np.int64)
+        # node arrays, grown by the builder
+        self._dim: list[int] = []
+        self._split: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._start: list[int] = []
+        self._end: list[int] = []
+        self._build(0, n)
+
+    # -- construction -------------------------------------------------------------
+
+    def _new_node(self, start: int, end: int) -> int:
+        self._dim.append(_LEAF)
+        self._split.append(np.nan)
+        self._left.append(_LEAF)
+        self._right.append(_LEAF)
+        self._start.append(start)
+        self._end.append(end)
+        return len(self._dim) - 1
+
+    def _build(self, start: int, end: int) -> int:
+        node = self._new_node(start, end)
+        n = end - start
+        if n <= self.leaf_size:
+            return node
+        idx = self._perm[start:end]
+        pts = self.data[idx]
+        spreads = pts.max(axis=0) - pts.min(axis=0)
+        dim = int(np.argmax(spreads))
+        if spreads[dim] <= 0:  # all points identical: keep as leaf
+            return node
+        mid = n // 2
+        order = np.argpartition(pts[:, dim], mid)
+        self._perm[start:end] = idx[order]
+        split_value = float(self.data[self._perm[start + mid], dim])
+        left = self._build(start, start + mid)
+        right = self._build(start + mid, end)
+        self._dim[node] = dim
+        self._split[node] = split_value
+        self._left[node] = left
+        self._right[node] = right
+        return node
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._dim)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query(self, X, k: int = 1, p: float = 2.0):
+        """k nearest neighbours of each row of ``X``.
+
+        Returns ``(distances, indices)`` with shape ``(n_queries, k)``,
+        neighbours ordered nearest first.  ``p`` is the Minkowski order
+        (p >= 1, finite).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.data.shape[1]:
+            raise ValueError("query dimensionality mismatch")
+        if not 1 <= k <= self.data.shape[0]:
+            raise ValueError(f"k must be in [1, {self.data.shape[0]}]")
+        if p < 1 or not np.isfinite(p):
+            raise ValueError("p must be finite and >= 1")
+        nq = X.shape[0]
+        dists = np.empty((nq, k), dtype=np.float64)
+        idxs = np.empty((nq, k), dtype=np.int64)
+        for i in range(nq):
+            d, j = self._query_one(X[i], k, p)
+            dists[i] = d
+            idxs[i] = j
+        return dists, idxs
+
+    def _reduced_leaf_dists(self, q: np.ndarray, start: int, end: int, p: float):
+        idx = self._perm[start:end]
+        diff = np.abs(self.data[idx] - q)
+        if p == 2.0:
+            rd = np.einsum("ij,ij->i", diff, diff)
+        elif p == 1.0:
+            rd = diff.sum(axis=1)
+        else:
+            rd = (diff**p).sum(axis=1)
+        return rd, idx
+
+    def _query_one(self, q: np.ndarray, k: int, p: float):
+        # heap of (-reduced_dist, index); holds current best k
+        heap: list[tuple[float, int]] = []
+
+        def visit(node: int) -> None:
+            dim = self._dim[node]
+            if dim == _LEAF:
+                rd, idx = self._reduced_leaf_dists(q, self._start[node], self._end[node], p)
+                for r, j in zip(rd, idx):
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-r, int(j)))
+                    elif r < -heap[0][0]:
+                        heapq.heapreplace(heap, (-r, int(j)))
+                return
+            delta = q[dim] - self._split[node]
+            near, far = (
+                (self._left[node], self._right[node])
+                if delta < 0
+                else (self._right[node], self._left[node])
+            )
+            visit(near)
+            gap = abs(delta) ** p
+            if len(heap) < k or gap < -heap[0][0]:
+                visit(far)
+
+        visit(0)
+        out = sorted(((-negr, j) for negr, j in heap))
+        rd = np.array([r for r, _ in out])
+        jj = np.array([j for _, j in out], dtype=np.int64)
+        return rd ** (1.0 / p), jj

@@ -1,0 +1,124 @@
+"""Classification metrics.
+
+The paper's headline metric is the F1-macro average (Sokolova et al.):
+the unweighted mean of per-class F1 scores, where each class's F1 is the
+harmonic mean of its precision and recall.  All metrics here are computed
+from one vectorized confusion-matrix pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_recall_f1",
+    "f1_score",
+    "f1_macro",
+    "classification_report",
+]
+
+
+def _validate_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise ValueError("y_true and y_pred must be 1-D")
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = #samples of class i predicted as j.
+
+    ``labels`` fixes the class order (and includes classes absent from the
+    data); defaults to the sorted union of observed labels.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+        seen = np.unique(np.concatenate([y_true, y_pred]))
+        unknown = np.setdiff1d(seen, labels)
+        if unknown.size:
+            raise ValueError(f"labels {unknown.tolist()} present in data but not in labels=")
+    k = labels.shape[0]
+    lut = {v: i for i, v in enumerate(labels.tolist())}
+    ti = np.fromiter((lut[v] for v in y_true.tolist()), dtype=np.int64, count=len(y_true))
+    pi = np.fromiter((lut[v] for v in y_pred.tolist()), dtype=np.int64, count=len(y_pred))
+    return np.bincount(ti * k + pi, minlength=k * k).reshape(k, k)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(y_true, y_pred, labels=None):
+    """Per-class precision, recall and F1.
+
+    Classes with no predicted (resp. true) samples get precision (resp.
+    recall) 0, matching scikit-learn's ``zero_division=0``.
+
+    Returns
+    -------
+    (labels, precision, recall, f1): arrays aligned on class order.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    tp = np.diag(cm).astype(np.float64)
+    pred_total = cm.sum(axis=0).astype(np.float64)
+    true_total = cm.sum(axis=1).astype(np.float64)
+    precision = np.divide(tp, pred_total, out=np.zeros_like(tp), where=pred_total > 0)
+    recall = np.divide(tp, true_total, out=np.zeros_like(tp), where=true_total > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0)
+    return np.asarray(labels), precision, recall, f1
+
+
+def f1_score(y_true, y_pred, *, pos_label=1) -> float:
+    """Binary F1 of one target class."""
+    labels, _, _, f1 = precision_recall_f1(y_true, y_pred)
+    matches = np.flatnonzero(labels == pos_label)
+    if matches.size == 0:
+        raise ValueError(f"pos_label {pos_label!r} not present in data")
+    return float(f1[matches[0]])
+
+
+def f1_macro(y_true, y_pred, labels=None) -> float:
+    """Unweighted mean of per-class F1 — the paper's prediction-quality metric."""
+    _, _, _, f1 = precision_recall_f1(y_true, y_pred, labels=labels)
+    return float(np.mean(f1))
+
+
+def classification_report(y_true, y_pred, *, target_names=None) -> str:
+    """Human-readable per-class report, plus macro averages."""
+    labels, p, r, f1 = precision_recall_f1(y_true, y_pred)
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    support = cm.sum(axis=1)
+    if target_names is None:
+        target_names = [str(v) for v in labels.tolist()]
+    if len(target_names) != len(labels):
+        raise ValueError("target_names length must match the number of classes")
+    width = max(12, max(len(n) for n in target_names) + 2)
+    lines = [f"{'':<{width}} precision  recall      f1  support"]
+    for i, name in enumerate(target_names):
+        lines.append(
+            f"{name:<{width}} {p[i]:9.3f} {r[i]:7.3f} {f1[i]:7.3f} {support[i]:8d}"
+        )
+    lines.append(
+        f"{'macro avg':<{width}} {p.mean():9.3f} {r.mean():7.3f} {f1.mean():7.3f} "
+        f"{support.sum():8d}"
+    )
+    lines.append(f"{'accuracy':<{width}} {accuracy_score(y_true, y_pred):9.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Data splitting utilities: stratified holdout, k-fold CV, time windows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlcore.base import check_random_state
+
+__all__ = [
+    "train_test_split",
+    "StratifiedKFold",
+    "cross_val_score",
+    "time_window_indices",
+]
+
+
+def train_test_split(X, y, *, test_size: float = 0.25, stratify: bool = False, random_state=None):
+    """Random (optionally class-stratified) holdout split.
+
+    Returns ``X_train, X_test, y_train, y_test``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y length mismatch")
+    n = X.shape[0]
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = check_random_state(random_state)
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise ValueError("test_size leaves no training data")
+
+    if stratify:
+        test_idx_parts = []
+        classes, counts = np.unique(y, return_counts=True)
+        # largest-remainder apportionment of the test budget over classes
+        exact = counts * n_test / n
+        base = np.floor(exact).astype(int)
+        rem = n_test - base.sum()
+        order = np.argsort(-(exact - base))
+        base[order[:rem]] += 1
+        for c, take in zip(classes, base):
+            members = np.flatnonzero(y == c)
+            take = min(take, members.size)
+            test_idx_parts.append(rng.choice(members, size=take, replace=False))
+        test_idx = np.concatenate(test_idx_parts)
+    else:
+        test_idx = rng.choice(n, size=n_test, replace=False)
+
+    mask = np.zeros(n, dtype=bool)
+    mask[test_idx] = True
+    return X[~mask], X[mask], y[~mask], y[mask]
+
+
+class StratifiedKFold:
+    """K-fold cross-validation preserving class proportions per fold."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, random_state=None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, y):
+        """Yield ``(train_idx, test_idx)`` pairs."""
+        y = np.asarray(y)
+        n = y.shape[0]
+        rng = check_random_state(self.random_state)
+        fold_of = np.empty(n, dtype=np.int64)
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            if members.size < self.n_splits:
+                raise ValueError(
+                    f"class {c!r} has {members.size} samples < n_splits={self.n_splits}"
+                )
+            if self.shuffle:
+                members = rng.permutation(members)
+            fold_of[members] = np.arange(members.size) % self.n_splits
+        for f in range(self.n_splits):
+            test = np.flatnonzero(fold_of == f)
+            train = np.flatnonzero(fold_of != f)
+            yield train, test
+
+
+def cross_val_score(make_estimator, X, y, *, cv: int = 5, scorer=None, random_state=None):
+    """Fit-and-score across stratified folds.
+
+    ``make_estimator`` is a zero-argument factory (a fresh model per fold);
+    ``scorer(model, X_test, y_test)`` defaults to ``model.score``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    folds = StratifiedKFold(cv, random_state=random_state)
+    scores = []
+    for train, test in folds.split(y):
+        model = make_estimator()
+        model.fit(X[train], y[train])
+        if scorer is None:
+            scores.append(model.score(X[test], y[test]))
+        else:
+            scores.append(scorer(model, X[test], y[test]))
+    return np.asarray(scores, dtype=np.float64)
+
+
+def time_window_indices(times, start, end) -> np.ndarray:
+    """Indices with ``start <= times < end`` — the α-window selector."""
+    times = np.asarray(times, dtype=np.float64)
+    return np.flatnonzero((times >= start) & (times < end))

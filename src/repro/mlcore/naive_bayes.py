@@ -1,0 +1,107 @@
+"""Gaussian naive Bayes classifier.
+
+A third algorithm family for the Classification Model registry — the
+paper notes that "it is possible to implement any data-driven prediction
+algorithm" (§III-D).  Naive Bayes sits at the opposite end of the
+training/inference trade-off space from both KNN and RF: training is one
+vectorized pass of per-class means/variances, inference one broadcasted
+log-density evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlcore.base import check_is_fitted, check_X_y, encode_labels
+
+__all__ = ["GaussianNBClassifier"]
+
+
+class GaussianNBClassifier:
+    """Per-feature Gaussian class-conditional densities, MAP prediction.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to all variances
+        for numerical stability (sklearn's 1e-9 default).
+    """
+
+    def __init__(self, *, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be non-negative")
+        self.var_smoothing = float(var_smoothing)
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "GaussianNBClassifier":
+        """Estimate per-class priors, means and variances."""
+        X, y = check_X_y(X, y, dtype=np.float64)
+        self.classes_, y_enc = encode_labels(y)
+        k = len(self.classes_)
+        n, d = X.shape
+        self.theta_ = np.empty((k, d))
+        self.var_ = np.empty((k, d))
+        self.class_prior_ = np.empty(k)
+        for c in range(k):
+            Xc = X[y_enc == c]
+            self.theta_[c] = Xc.mean(axis=0)
+            self.var_[c] = Xc.var(axis=0)
+            self.class_prior_[c] = Xc.shape[0] / n
+        self.epsilon_ = self.var_smoothing * float(X.var(axis=0).max())
+        self.var_ += max(self.epsilon_, 1e-12)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        # (n, k): log prior + sum_d log N(x_d | theta, var)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.theta_.shape[1]:
+            raise ValueError("X has the wrong shape for this model")
+        jll = np.log(self.class_prior_)[None, :] - 0.5 * np.sum(
+            np.log(2.0 * np.pi * self.var_), axis=1
+        )[None, :]
+        # broadcast: (n, 1, d) - (k, d) -> (n, k, d)
+        diff = X[:, None, :] - self.theta_[None, :, :]
+        jll = jll - 0.5 * np.sum(diff * diff / self.var_[None, :, :], axis=2)
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Posterior class probabilities (softmax of joint log likelihood)."""
+        check_is_fitted(self, "classes_")
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        """MAP class labels."""
+        check_is_fitted(self, "classes_")
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        """Mean accuracy."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # -- persistence --------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        check_is_fitted(self, "classes_")
+        return {
+            "meta": {"var_smoothing": self.var_smoothing},
+            "arrays": {
+                "classes": self.classes_,
+                "theta": self.theta_,
+                "var": self.var_,
+                "prior": self.class_prior_,
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GaussianNBClassifier":
+        model = cls(var_smoothing=state["meta"]["var_smoothing"])
+        arrays = state["arrays"]
+        model.classes_ = np.asarray(arrays["classes"])
+        model.theta_ = np.asarray(arrays["theta"], dtype=np.float64)
+        model.var_ = np.asarray(arrays["var"], dtype=np.float64)
+        model.class_prior_ = np.asarray(arrays["prior"], dtype=np.float64)
+        model.epsilon_ = 0.0
+        return model

@@ -1,0 +1,195 @@
+"""Hashed n-gram sentence embedder (SBERT stand-in).
+
+Each token (word or character n-gram, see :mod:`repro.nlp.tokenizer`) is
+mapped by ``n_hashes`` independent seeded hashes to ``(dimension, sign)``
+pairs; the sentence vector is the signed sum of its tokens' contributions,
+optionally IDF-weighted, then L2-normalized.  This is a sparse signed
+random projection of the (virtually infinite) token space into
+``dim``-dimensional space, so cosine similarity between two sentences
+approximates their weighted token-overlap — the locality property k-NN and
+random forests exploit downstream.
+
+Determinism: hashing is FNV-1a with fixed seeds; the embedding of a string
+depends only on (string, dim, n_hashes, seed, idf state).
+
+Performance: job feature strings repeat heavily (batches of identical
+jobs), so per-string vectors are memoized in an internal cache; encoding a
+batch costs one dictionary lookup per repeated string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlp.hashing import hash_token
+from repro.nlp.tfidf import DocumentFrequencyTable
+from repro.nlp.tokenizer import feature_tokens
+
+__all__ = ["SentenceEmbedder"]
+
+
+class SentenceEmbedder:
+    """Fixed-width deterministic sentence embedder.
+
+    Parameters
+    ----------
+    dim:
+        Output dimensionality.  Defaults to 384 to match the SBERT model
+        the paper uses (`all-MiniLM-L6-v2`).
+    n_hashes:
+        Number of (dimension, sign) projections per token.  More hashes
+        reduce collision noise at slightly higher cost.
+    seed:
+        Seed mixed into every hash; two embedders with different seeds are
+        independent projections.
+    use_idf:
+        If True, token contributions are weighted by the online IDF table
+        (fit via :meth:`partial_fit_idf` during the Training Workflow).
+    ngram_range:
+        Character n-gram sizes fed to the tokenizer.
+    cache_size:
+        Maximum number of distinct strings memoized (FIFO eviction).
+    """
+
+    def __init__(
+        self,
+        dim: int = 384,
+        *,
+        n_hashes: int = 2,
+        seed: int = 17,
+        use_idf: bool = False,
+        ngram_range: tuple[int, int] = (3, 4),
+        cache_size: int = 200_000,
+    ) -> None:
+        if dim <= 1:
+            raise ValueError("dim must be > 1")
+        if n_hashes < 1:
+            raise ValueError("n_hashes must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.dim = int(dim)
+        self.n_hashes = int(n_hashes)
+        self.seed = int(seed)
+        self.use_idf = bool(use_idf)
+        self.ngram_range = (int(ngram_range[0]), int(ngram_range[1]))
+        self.cache_size = int(cache_size)
+        self.idf_table = DocumentFrequencyTable()
+        self._cache: dict[str, np.ndarray] = {}
+        # token -> (dims, signs, token_id); memoizes hashing too
+        self._token_cache: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+
+    # -- token machinery -------------------------------------------------------
+
+    def _token_projection(self, token: str) -> tuple[np.ndarray, np.ndarray, int]:
+        hit = self._token_cache.get(token)
+        if hit is not None:
+            return hit
+        dims = np.empty(self.n_hashes, dtype=np.int64)
+        signs = np.empty(self.n_hashes, dtype=np.float64)
+        for k in range(self.n_hashes):
+            h = hash_token(token, seed=self.seed * 1000 + k)
+            dims[k] = h % self.dim
+            signs[k] = 1.0 if (h >> 63) & 1 else -1.0
+        token_id = hash_token(token, seed=self.seed)
+        entry = (dims, signs, token_id)
+        if len(self._token_cache) < 4 * self.cache_size + 1024:
+            self._token_cache[token] = entry
+        return entry
+
+    def _embed_one(self, text: str) -> np.ndarray:
+        v = np.zeros(self.dim, dtype=np.float64)
+        tokens = feature_tokens(text, n_min=self.ngram_range[0], n_max=self.ngram_range[1])
+        if not tokens:
+            out = np.zeros(self.dim, dtype=np.float32)
+            out[0] = 1.0  # canonical vector for empty strings
+            return out
+        for tok in tokens:
+            dims, signs, tok_id = self._token_projection(tok)
+            w = self.idf_table.idf(tok_id) if self.use_idf else 1.0
+            v[dims] += signs * w
+        norm = float(np.linalg.norm(v))
+        if norm > 0:
+            v /= norm
+        return v.astype(np.float32)
+
+    # -- public API -----------------------------------------------------------
+
+    def encode(self, texts) -> np.ndarray:
+        """Encode a string or a sequence of strings.
+
+        Returns a float32 array of shape ``(dim,)`` for a single string or
+        ``(n, dim)`` for a sequence.  Rows are L2-normalized.
+        """
+        if isinstance(texts, str):
+            return self._encode_cached(texts).copy()
+        texts = list(texts)
+        out = np.empty((len(texts), self.dim), dtype=np.float32)
+        for i, t in enumerate(texts):
+            if not isinstance(t, str):
+                raise TypeError(f"expected str, got {type(t).__name__}")
+            out[i] = self._encode_cached(t)
+        return out
+
+    def _encode_cached(self, text: str) -> np.ndarray:
+        hit = self._cache.get(text)
+        if hit is not None:
+            return hit
+        v = self._embed_one(text)
+        if self.cache_size:
+            if len(self._cache) >= self.cache_size:
+                # FIFO eviction: drop the oldest insertion
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[text] = v
+        return v
+
+    def partial_fit_idf(self, texts) -> "SentenceEmbedder":
+        """Update the online IDF table with a batch of strings.
+
+        Invalidate the string cache afterwards, since weights changed.
+        """
+        docs = []
+        for t in texts:
+            ids = [
+                self._token_projection(tok)[2]
+                for tok in feature_tokens(
+                    t, n_min=self.ngram_range[0], n_max=self.ngram_range[1]
+                )
+            ]
+            docs.append(ids)
+        self.idf_table.partial_fit(docs)
+        self._cache.clear()
+        return self
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # -- persistence -------------------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """Serializable constructor arguments + IDF state."""
+        return {
+            "dim": self.dim,
+            "n_hashes": self.n_hashes,
+            "seed": self.seed,
+            "use_idf": self.use_idf,
+            "ngram_range": list(self.ngram_range),
+            "cache_size": self.cache_size,
+            "idf_state": self.idf_table.state_dict(),
+        }
+
+    @classmethod
+    def from_config_dict(cls, cfg: dict) -> "SentenceEmbedder":
+        emb = cls(
+            cfg["dim"],
+            n_hashes=cfg["n_hashes"],
+            seed=cfg["seed"],
+            use_idf=cfg["use_idf"],
+            ngram_range=tuple(cfg["ngram_range"]),
+            cache_size=cfg["cache_size"],
+        )
+        emb.idf_table = DocumentFrequencyTable.from_state_dict(cfg["idf_state"])
+        return emb

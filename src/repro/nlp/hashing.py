@@ -1,0 +1,44 @@
+"""Deterministic 64-bit feature hashing.
+
+Python's built-in ``hash`` is salted per process, so embeddings built on it
+would not be reproducible across runs (and could not be persisted alongside
+a trained model).  We use FNV-1a, which is tiny, fast, and has good
+avalanche behaviour for short code-like tokens.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fnv1a64", "hash_token"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``, optionally tweaked by a seed."""
+    h = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK
+    for b in data:
+        h ^= b
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+def _mix64(h: int) -> int:
+    """splitmix64 finalizer: full-avalanche mixing of a 64-bit value.
+
+    Raw FNV-1a has weak dispersion in its high bits for short inputs (the
+    top bit comes out 0 for ~90% of short tokens), which would bias the
+    embedder's sign bits; the finalizer fixes that.
+    """
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK
+    h ^= h >> 33
+    return h
+
+
+def hash_token(token: str, seed: int = 0) -> int:
+    """Hash a text token (UTF-8) to a well-mixed 64-bit integer."""
+    return _mix64(fnv1a64(token.encode("utf-8"), seed))

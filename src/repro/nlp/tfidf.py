@@ -1,0 +1,61 @@
+"""Online document-frequency statistics for TF-IDF weighting.
+
+The embedder can optionally weight tokens by inverse document frequency,
+learned online: the Training Workflow calls :meth:`partial_fit` on each
+retraining batch, so common boilerplate tokens ("sh", "run", the group
+prefixes every user name shares) contribute less than discriminative ones.
+Frequencies are tracked in hashed space so the table composes with the
+hashing embedder and stays bounded in memory.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+__all__ = ["DocumentFrequencyTable"]
+
+
+class DocumentFrequencyTable:
+    """Streaming document-frequency counter over hashed token ids."""
+
+    def __init__(self) -> None:
+        self._df: Counter[int] = Counter()
+        self._n_docs = 0
+
+    @property
+    def n_docs(self) -> int:
+        return self._n_docs
+
+    def partial_fit(self, docs_token_ids: Iterable[Iterable[int]]) -> "DocumentFrequencyTable":
+        """Update counts with one batch of documents (iterables of token ids)."""
+        for ids in docs_token_ids:
+            self._df.update(set(ids))
+            self._n_docs += 1
+        return self
+
+    def document_frequency(self, token_id: int) -> int:
+        return self._df.get(token_id, 0)
+
+    def idf(self, token_id: int) -> float:
+        """Smoothed IDF: ``log((1 + N) / (1 + df)) + 1``.
+
+        Unseen tokens get the maximum weight; with an empty table every
+        token weighs 1.0, so an unfitted table degrades to plain TF.
+        """
+        if self._n_docs == 0:
+            return 1.0
+        df = self._df.get(token_id, 0)
+        return math.log((1.0 + self._n_docs) / (1.0 + df)) + 1.0
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot (used by model persistence)."""
+        return {"n_docs": self._n_docs, "df": dict(self._df)}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DocumentFrequencyTable":
+        t = cls()
+        t._n_docs = int(state["n_docs"])
+        t._df = Counter({int(k): int(v) for k, v in state["df"].items()})
+        return t

@@ -1,0 +1,47 @@
+"""Balanced chunking of index ranges and arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chunk_bounds", "chunk_indices", "split_array"]
+
+
+def chunk_bounds(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``n_chunks`` contiguous, balanced ``[lo, hi)``.
+
+    The first ``n % n_chunks`` chunks get one extra element; empty chunks
+    are dropped (so fewer than ``n_chunks`` pairs may be returned).
+
+    >>> chunk_bounds(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    base, extra = divmod(n, n_chunks)
+    bounds = []
+    lo = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        bounds.append((lo, lo + size))
+        lo += size
+    return bounds
+
+
+def chunk_indices(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into fixed-size ``[lo, hi)`` chunks (last may be short)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
+
+
+def split_array(arr: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+    """Split an array into balanced row-views (no copies)."""
+    arr = np.asarray(arr)
+    return [arr[lo:hi] for lo, hi in chunk_bounds(arr.shape[0], n_chunks)]

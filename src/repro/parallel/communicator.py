@@ -1,0 +1,135 @@
+"""MPI-style collectives over local worker threads.
+
+Mirrors the mpi4py tutorial's communicator surface (``bcast``, ``scatter``,
+``gather``, ``allreduce``, ``barrier``) for in-process SPMD regions: a
+fixed group of ranks runs the same function and synchronizes through the
+communicator.  This keeps algorithm code written against collective
+semantics portable to a real MPI deployment, while executing correctly on
+one node (or one core) here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.parallel.chunking import chunk_bounds
+
+__all__ = ["LocalCommunicator", "run_spmd"]
+
+
+class LocalCommunicator:
+    """Collectives for a fixed-size group of threads.
+
+    One instance is shared by all ranks; each rank passes its own
+    ``rank`` to the calls.  Collectives are synchronizing: every rank must
+    reach the call before any rank proceeds (implemented on
+    :class:`threading.Barrier`).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self._barrier = threading.Barrier(size)
+        self._slots: list = [None] * size
+        self._bcast_box: list = [None]
+
+    def barrier(self) -> None:
+        """Block until all ranks arrive."""
+        self._barrier.wait()
+
+    def bcast(self, obj, rank: int, root: int = 0):
+        """Broadcast ``obj`` from ``root`` to every rank (returned value)."""
+        self._check_rank(rank)
+        self._check_rank(root)
+        if rank == root:
+            self._bcast_box[0] = obj
+        self._barrier.wait()
+        out = self._bcast_box[0]
+        self._barrier.wait()  # keep the box stable until all ranks copied
+        return out
+
+    def scatter(self, items, rank: int, root: int = 0):
+        """Root distributes ``items`` (len == size); each rank gets one."""
+        self._check_rank(rank)
+        if rank == root:
+            items = list(items)
+            if len(items) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} items")
+            self._slots[:] = items
+        self._barrier.wait()
+        out = self._slots[rank]
+        self._barrier.wait()
+        return out
+
+    def gather(self, obj, rank: int, root: int = 0):
+        """Collect one object per rank; root receives the list, others None."""
+        self._check_rank(rank)
+        self._slots[rank] = obj
+        self._barrier.wait()
+        out = list(self._slots) if rank == root else None
+        self._barrier.wait()
+        return out
+
+    def allgather(self, obj, rank: int) -> list:
+        """Collect one object per rank on every rank."""
+        self._check_rank(rank)
+        self._slots[rank] = obj
+        self._barrier.wait()
+        out = list(self._slots)
+        self._barrier.wait()
+        return out
+
+    def allreduce(self, value, rank: int, op: Callable = None):
+        """Reduce values from all ranks with ``op`` (default: sum)."""
+        parts = self.allgather(value, rank)
+        if op is None:
+            total = parts[0]
+            for p in parts[1:]:
+                total = total + p
+            return total
+        total = parts[0]
+        for p in parts[1:]:
+            total = op(total, p)
+        return total
+
+    def chunk_for_rank(self, n: int, rank: int) -> tuple[int, int]:
+        """This rank's ``[lo, hi)`` share of ``range(n)`` (empty if none)."""
+        self._check_rank(rank)
+        bounds = chunk_bounds(n, self.size)
+        return bounds[rank] if rank < len(bounds) else (n, n)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+
+
+def run_spmd(fn: Callable, size: int) -> list:
+    """Run ``fn(comm, rank)`` on ``size`` threads; returns per-rank results.
+
+    Exceptions on any rank abort the region and re-raise on the caller.
+    """
+    comm = LocalCommunicator(size)
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(comm, rank)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[rank] = exc
+            comm._barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for exc in errors:
+        if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+            raise exc
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

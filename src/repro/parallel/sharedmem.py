@@ -1,0 +1,91 @@
+"""Shared-memory numpy arrays for zero-copy hand-off to process pools.
+
+Wraps :mod:`multiprocessing.shared_memory` with ndarray semantics and
+explicit ownership: the creating side calls :meth:`close` + :meth:`unlink`,
+attachers only :meth:`close`.  Context-manager use handles both.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """An ndarray view over a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, shape, dtype=np.float64) -> "SharedArray":
+        """Allocate a new zeroed shared array (this side owns the segment)."""
+        shape = tuple(int(s) for s in np.atleast_1d(shape))
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if nbytes <= 0:
+            raise ValueError("shared array must have positive size")
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        out = cls(shm, shape, dtype, owner=True)
+        out.array[...] = 0
+        return out
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "SharedArray":
+        """Copy an existing array into new shared memory."""
+        arr = np.ascontiguousarray(arr)
+        out = cls.create(arr.shape, arr.dtype)
+        out.array[...] = arr
+        return out
+
+    @classmethod
+    def attach(cls, name: str, shape, dtype) -> "SharedArray":
+        """Attach to a segment created elsewhere (non-owning)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, tuple(shape), dtype, owner=False)
+
+    # -- descriptor for pickling across processes --------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def descriptor(self) -> dict:
+        """Pickle-friendly handle: pass this to workers, then ``attach``."""
+        return {
+            "name": self.name,
+            "shape": list(self.array.shape),
+            "dtype": str(self.array.dtype),
+        }
+
+    @classmethod
+    def from_descriptor(cls, desc: dict) -> "SharedArray":
+        return cls.attach(desc["name"], desc["shape"], np.dtype(desc["dtype"]))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent on some platforms)."""
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            try:
+                self.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass

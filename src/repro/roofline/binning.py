@@ -1,0 +1,104 @@
+"""Log-binned 2-D summaries of roofline scatter.
+
+The paper's Figures 3 and 5 are scatter plots of ~2.2 M jobs on the
+(operational intensity, performance) plane.  For a headless, matplotlib-free
+reproduction we summarize the scatter as a 2-D histogram over log-spaced
+bins plus the statistics the paper reads off the figure: skew of the
+op-intensity distribution relative to the ridge, mass near the ceilings,
+and (for Fig. 5) the association between frequency choice and position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roofline.model import Roofline
+
+__all__ = ["log_bin_2d", "RooflineScatterSummary"]
+
+
+def log_bin_2d(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+    bins: tuple[int, int] = (60, 40),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """2-D histogram over log10-spaced bins.
+
+    Values outside the ranges are clipped into the edge bins (the figures
+    clip their axes the same way).  Returns ``(counts, x_edges, y_edges)``
+    with edges in linear units.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if min(x_range) <= 0 or min(y_range) <= 0:
+        raise ValueError("log binning needs positive ranges")
+    xe = np.logspace(np.log10(x_range[0]), np.log10(x_range[1]), bins[0] + 1)
+    ye = np.logspace(np.log10(y_range[0]), np.log10(y_range[1]), bins[1] + 1)
+    xc = np.clip(x, x_range[0], x_range[1] * (1 - 1e-12))
+    yc = np.clip(y, y_range[0], y_range[1] * (1 - 1e-12))
+    counts, _, _ = np.histogram2d(xc, yc, bins=[xe, ye])
+    return counts, xe, ye
+
+
+@dataclass(frozen=True)
+class RooflineScatterSummary:
+    """Figure-3/5-style summary statistics of a job population.
+
+    Attributes
+    ----------
+    n_jobs: population size.
+    frac_memory_bound: share of jobs at or below the ridge point.
+    median_op: median operational intensity (Flops/Byte).
+    frac_near_ceiling: share of jobs achieving ≥50% of attainable perf.
+    frac_within_decade_of_ceiling: share achieving ≥10% of attainable perf.
+    counts / x_edges / y_edges: the log-binned 2-D histogram.
+    """
+
+    n_jobs: int
+    frac_memory_bound: float
+    median_op: float
+    frac_near_ceiling: float
+    frac_within_decade_of_ceiling: float
+    counts: np.ndarray
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+
+    @staticmethod
+    def from_jobs(
+        op: np.ndarray,
+        perf_gflops: np.ndarray,
+        roofline: Roofline,
+        *,
+        bins: tuple[int, int] = (60, 40),
+    ) -> "RooflineScatterSummary":
+        op = np.asarray(op, dtype=np.float64)
+        perf = np.asarray(perf_gflops, dtype=np.float64)
+        if op.shape != perf.shape or op.ndim != 1:
+            raise ValueError("op and perf must be equal-length 1-D arrays")
+        if op.size == 0:
+            raise ValueError("empty job population")
+        eff = roofline.efficiency(op, perf)
+        counts, xe, ye = log_bin_2d(
+            op,
+            np.maximum(perf, 1e-6),
+            x_range=(1e-4, 1e3),
+            y_range=(1e-3, roofline.peak_gflops * 1.5),
+            bins=bins,
+        )
+        return RooflineScatterSummary(
+            n_jobs=int(op.size),
+            frac_memory_bound=float(np.mean(op <= roofline.ridge_point)),
+            median_op=float(np.median(op)),
+            frac_near_ceiling=float(np.mean(eff >= 0.5)),
+            frac_within_decade_of_ceiling=float(np.mean(eff >= 0.1)),
+            counts=counts,
+            x_edges=xe,
+            y_edges=ye,
+        )

@@ -1,0 +1,70 @@
+"""The basic Roofline model.
+
+A machine is summarized by two ceilings: peak floating-point performance
+(GFlops/s) and peak memory bandwidth (GB/s).  A computation with
+operational intensity ``op`` (Flops/Byte) can attain at most
+``min(peak_perf, peak_bw * op)``.  The *ridge point* ``op_r = peak_perf /
+peak_bw`` separates the memory-bound region (``op <= op_r``) from the
+compute-bound region (``op > op_r``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Roofline"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Node-level roofline with FP64 peak and memory-bandwidth ceilings.
+
+    Parameters
+    ----------
+    peak_gflops:
+        Peak floating-point performance in GFlops/s.
+    peak_membw_gbs:
+        Peak memory bandwidth in GBytes/s.
+    """
+
+    peak_gflops: float
+    peak_membw_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.peak_membw_gbs <= 0:
+            raise ValueError("roofline ceilings must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity of the ridge point, Flops/Byte."""
+        return self.peak_gflops / self.peak_membw_gbs
+
+    def attainable(self, op):
+        """Attainable performance (GFlops/s) at operational intensity ``op``.
+
+        Vectorized: accepts scalars or arrays.
+        """
+        op = np.asarray(op, dtype=np.float64)
+        if np.any(op < 0):
+            raise ValueError("operational intensity must be non-negative")
+        out = np.minimum(self.peak_gflops, self.peak_membw_gbs * op)
+        return out if out.ndim else float(out)
+
+    def is_compute_bound(self, op):
+        """Boolean (array): strictly above the ridge point.
+
+        The paper labels a job *compute-bound* iff its operational intensity
+        is greater than the ridge point, *memory-bound* otherwise (§III-C).
+        """
+        op = np.asarray(op, dtype=np.float64)
+        out = op > self.ridge_point
+        return out if out.ndim else bool(out)
+
+    def efficiency(self, op, performance_gflops):
+        """Fraction of the attainable performance actually achieved."""
+        perf = np.asarray(performance_gflops, dtype=np.float64)
+        att = np.asarray(self.attainable(op), dtype=np.float64)
+        out = np.divide(perf, att, out=np.zeros_like(perf), where=att > 0)
+        return out if out.ndim else float(out)

@@ -1,0 +1,103 @@
+"""Multi-ceiling Roofline extension.
+
+The paper's first MCBound version labels jobs with the two classes of the
+original Roofline paper, but notes (§III-C) that "by adding to the Roofline
+model the bandwidth of other hardware components (e.g. cache, interconnect
+and GPUs) it is possible to expand the Job Characterizer to create other
+labels ... such as interconnect-bound and GPU-bound".  This module
+implements that extension: a roofline with an ordered set of bandwidth
+ceilings, each defining its own ridge against the compute peak, and a
+multi-class labelling that names the binding resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ceiling", "MultiCeilingRoofline"]
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """One bandwidth ceiling: a named resource with peak GB/s."""
+
+    name: str
+    peak_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gbs <= 0:
+            raise ValueError("ceiling bandwidth must be positive")
+
+
+class MultiCeilingRoofline:
+    """Roofline with a compute peak and several bandwidth ceilings.
+
+    Each job supplies its per-node performance and its traffic through each
+    resource; the job is labelled by the resource whose ceiling it is
+    closest to saturating, or ``"compute-bound"`` if the compute peak is the
+    tightest constraint.
+
+    Parameters
+    ----------
+    peak_gflops:
+        FP64 compute ceiling, GFlops/s.
+    ceilings:
+        Bandwidth ceilings ordered however the caller likes (e.g. HBM2,
+        L2 cache, Tofu interconnect).
+    """
+
+    def __init__(self, peak_gflops: float, ceilings: list[Ceiling]) -> None:
+        if peak_gflops <= 0:
+            raise ValueError("peak_gflops must be positive")
+        if not ceilings:
+            raise ValueError("need at least one bandwidth ceiling")
+        names = [c.name for c in ceilings]
+        if len(set(names)) != len(names):
+            raise ValueError("ceiling names must be unique")
+        self.peak_gflops = float(peak_gflops)
+        self.ceilings = list(ceilings)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        """Label names: one ``<resource>-bound`` per ceiling + compute-bound."""
+        return tuple(f"{c.name}-bound" for c in self.ceilings) + ("compute-bound",)
+
+    def ridge_point(self, ceiling_name: str) -> float:
+        """Ridge point (Flops/Byte) against a named ceiling."""
+        for c in self.ceilings:
+            if c.name == ceiling_name:
+                return self.peak_gflops / c.peak_gbs
+        raise KeyError(f"unknown ceiling {ceiling_name!r}")
+
+    def classify(self, performance_gflops, traffic_gbs: dict[str, np.ndarray]) -> np.ndarray:
+        """Label jobs by their most-saturated resource.
+
+        Parameters
+        ----------
+        performance_gflops:
+            Per-node achieved GFlops/s, shape ``(n,)``.
+        traffic_gbs:
+            Mapping ceiling name -> per-node achieved GB/s through that
+            resource, each shape ``(n,)``.
+
+        Returns
+        -------
+        Integer labels indexing :attr:`class_names`.
+        """
+        perf = np.asarray(performance_gflops, dtype=np.float64)
+        n = perf.shape[0]
+        k = len(self.ceilings)
+        util = np.empty((k + 1, n), dtype=np.float64)
+        for i, c in enumerate(self.ceilings):
+            if c.name not in traffic_gbs:
+                raise KeyError(f"missing traffic for ceiling {c.name!r}")
+            tr = np.asarray(traffic_gbs[c.name], dtype=np.float64)
+            if tr.shape != perf.shape:
+                raise ValueError(f"traffic shape mismatch for {c.name!r}")
+            if np.any(tr < 0):
+                raise ValueError("traffic must be non-negative")
+            util[i] = tr / c.peak_gbs
+        util[k] = perf / self.peak_gflops
+        return np.argmax(util, axis=0).astype(np.int64)

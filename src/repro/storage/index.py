@@ -1,0 +1,80 @@
+"""Sorted secondary indexes.
+
+An index stores an ``argsort`` permutation over a column; equality and
+range lookups become two ``searchsorted`` calls returning row ids in O(log
+n), instead of a full column scan.  The engine appends rows in bulk, so the
+index supports cheap batched rebuilds and is marked stale in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SortedIndex"]
+
+
+class SortedIndex:
+    """Sorted index over one column of a column-store table."""
+
+    def __init__(self, column_name: str) -> None:
+        self.column_name = column_name
+        self._order: np.ndarray | None = None
+        self._sorted_values: np.ndarray | None = None
+        self._stale = True
+
+    def invalidate(self) -> None:
+        """Mark the index stale after the base table changed."""
+        self._stale = True
+
+    @property
+    def is_stale(self) -> bool:
+        return self._stale
+
+    def rebuild(self, values: np.ndarray) -> None:
+        """Rebuild from the current column contents."""
+        order = np.argsort(values, kind="stable")
+        self._order = order
+        self._sorted_values = values[order]
+        self._stale = False
+
+    def _require_fresh(self) -> None:
+        if self._stale or self._sorted_values is None:
+            raise RuntimeError(
+                f"index on {self.column_name!r} is stale; engine must rebuild first"
+            )
+
+    def lookup_eq(self, value) -> np.ndarray:
+        """Row ids with column == value (unsorted order of row id)."""
+        self._require_fresh()
+        lo = np.searchsorted(self._sorted_values, value, side="left")
+        hi = np.searchsorted(self._sorted_values, value, side="right")
+        return self._order[lo:hi]
+
+    def lookup_range(
+        self,
+        low=None,
+        high=None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row ids with column in the given (optionally open) interval."""
+        self._require_fresh()
+        sv = self._sorted_values
+        lo_i = 0
+        hi_i = len(sv)
+        if low is not None:
+            lo_i = np.searchsorted(sv, low, side="left" if low_inclusive else "right")
+        if high is not None:
+            hi_i = np.searchsorted(sv, high, side="right" if high_inclusive else "left")
+        if hi_i < lo_i:
+            hi_i = lo_i
+        return self._order[lo_i:hi_i]
+
+    def lookup_in(self, values) -> np.ndarray:
+        """Row ids with column value in an explicit set."""
+        self._require_fresh()
+        parts = [self.lookup_eq(v) for v in values]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))

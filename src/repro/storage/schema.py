@@ -1,0 +1,87 @@
+"""Table schema definitions for the jobs data storage."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ColumnType", "ColumnDef", "TableSchema"]
+
+
+class ColumnType(enum.Enum):
+    """SQL column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype backing this column type in the column store."""
+        if self is ColumnType.INTEGER:
+            return np.dtype(np.int64)
+        if self is ColumnType.REAL:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    def coerce(self, value):
+        """Coerce one Python value to this column type (raises on mismatch)."""
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise TypeError(f"expected INTEGER, got {value!r}")
+            return int(value)
+        if self is ColumnType.REAL:
+            if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+                raise TypeError(f"expected REAL, got {value!r}")
+            return float(value)
+        if not isinstance(value, str):
+            raise TypeError(f"expected TEXT, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: name, type, and whether a sorted index is maintained."""
+
+    name: str
+    ctype: ColumnType
+    indexed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"invalid column name {self.name!r}")
+
+
+class TableSchema:
+    """Ordered collection of column definitions."""
+
+    def __init__(self, name: str, columns: list[ColumnDef]) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"invalid table name {name!r}")
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    def __contains__(self, col: str) -> bool:
+        return col in self._by_name
+
+    def __getitem__(self, col: str) -> ColumnDef:
+        try:
+            return self._by_name[col]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {col!r}") from None
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns if c.indexed)

@@ -1,0 +1,31 @@
+"""In-process test client (flask's ``test_client`` counterpart)."""
+
+from __future__ import annotations
+
+from repro.web.app import App, Response
+
+__all__ = ["TestClient"]
+
+
+class TestClient:
+    """Drive an :class:`repro.web.App` without a socket."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+
+    def request(self, method: str, url: str, **kwargs) -> Response:
+        return self.app.handle(App.build_request(method, url, **kwargs))
+
+    def get(self, url: str, **kwargs) -> Response:
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, **kwargs) -> Response:
+        return self.request("POST", url, **kwargs)
+
+    def put(self, url: str, **kwargs) -> Response:
+        return self.request("PUT", url, **kwargs)
+
+    def delete(self, url: str, **kwargs) -> Response:
+        return self.request("DELETE", url, **kwargs)

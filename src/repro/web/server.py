@@ -1,0 +1,88 @@
+"""HTTP server adapter on the standard library.
+
+Runs an :class:`repro.web.App` behind
+:class:`http.server.ThreadingHTTPServer`.  :func:`serve` returns a
+:class:`ServerHandle` running on a daemon thread, so tests and the deploy
+script can start, probe and stop a real socket server.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.web.app import App
+
+__all__ = ["serve", "ServerHandle"]
+
+
+def _make_handler(app: App):
+    class Handler(BaseHTTPRequestHandler):
+        # silence per-request stderr logging
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def _run(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            request = App.build_request(
+                self.command,
+                self.path,
+                headers={k: v for k, v in self.headers.items()},
+                body=body,
+            )
+            response = app.handle(request)
+            self.send_response(response.status)
+            payload = response.body
+            headers = dict(response.headers)
+            headers.setdefault("Content-Type", "application/json")
+            headers["Content-Length"] = str(len(payload))
+            for k, v in headers.items():
+                self.send_header(k, v)
+            self.end_headers()
+            if self.command != "HEAD":
+                self.wfile.write(payload)
+
+        do_GET = do_POST = do_PUT = do_DELETE = do_HEAD = _run
+
+    return Handler
+
+
+class ServerHandle:
+    """A running server: address, and a stop switch."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._thread.join(timeout=10)
+        self._server.server_close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve(app: App, host: str = "127.0.0.1", port: int = 0) -> ServerHandle:
+    """Start ``app`` on a background thread; ``port=0`` picks a free port."""
+    server = ThreadingHTTPServer((host, port), _make_handler(app))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return ServerHandle(server, thread)

@@ -1,0 +1,68 @@
+"""Tests for the Fig. 2 / Fig. 4 temporal distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    class_share_per_day,
+    detect_maintenance_gap,
+    jobs_per_day,
+)
+from repro.fugaku.workload import APR_1, WorkloadConfig
+
+
+class TestJobsPerDay:
+    def test_counts_sum_to_trace(self, tiny_trace):
+        days, counts = jobs_per_day(tiny_trace)
+        assert counts.sum() == len(tiny_trace)
+        assert days.shape == counts.shape
+
+    def test_explicit_n_days(self, tiny_trace):
+        days, counts = jobs_per_day(tiny_trace, n_days=APR_1)
+        assert len(days) == APR_1
+
+    def test_maintenance_dip_visible(self, tiny_trace):
+        _, counts = jobs_per_day(tiny_trace, n_days=APR_1)
+        lo, hi = WorkloadConfig().maintenance_days
+        assert counts[lo:hi].mean() < 0.3 * np.median(counts[counts > 0])
+
+
+class TestClassShare:
+    def test_partition(self, tiny_trace, tiny_labels):
+        _, mem, comp, share = class_share_per_day(tiny_trace, tiny_labels, n_days=APR_1)
+        assert (mem + comp).sum() == len(tiny_trace)
+
+    def test_share_in_unit_interval(self, tiny_trace, tiny_labels):
+        _, _, _, share = class_share_per_day(tiny_trace, tiny_labels, n_days=APR_1)
+        valid = share[~np.isnan(share)]
+        assert np.all((0 <= valid) & (valid <= 1))
+
+    def test_memory_majority_most_days(self, tiny_trace, tiny_labels):
+        """Fig. 4: memory-bound jobs dominate consistently over time."""
+        _, _, _, share = class_share_per_day(tiny_trace, tiny_labels, n_days=APR_1)
+        valid = share[~np.isnan(share)]
+        assert np.mean(valid > 0.5) > 0.8
+
+    def test_label_length_mismatch(self, tiny_trace):
+        with pytest.raises(ValueError):
+            class_share_per_day(tiny_trace, np.zeros(3))
+
+
+class TestMaintenanceDetection:
+    def test_detects_synthetic_gap(self):
+        counts = np.array([100, 98, 103, 2, 1, 99, 101])
+        assert detect_maintenance_gap(counts) == [3, 4]
+
+    def test_no_gap(self):
+        counts = np.array([100, 98, 103, 99])
+        assert detect_maintenance_gap(counts) == []
+
+    def test_detects_trace_maintenance(self, tiny_trace):
+        _, counts = jobs_per_day(tiny_trace, n_days=APR_1)
+        gap = detect_maintenance_gap(counts)
+        lo, hi = WorkloadConfig().maintenance_days
+        assert set(range(lo, hi)) <= set(gap)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_maintenance_gap(np.array([]))

@@ -1,0 +1,66 @@
+"""Tests for the §V-C.d system-impact estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.impact import (
+    DURATION_REDUCTION_BOOST_MODE,
+    POWER_REDUCTION_NORMAL_MODE,
+    estimate_impact,
+)
+
+
+class TestEstimate:
+    def test_constants_match_paper(self):
+        # Kodama et al. numbers cited in §V-C.d
+        assert POWER_REDUCTION_NORMAL_MODE == 0.15
+        assert DURATION_REDUCTION_BOOST_MODE == 0.10
+
+    def test_populations_counted(self, tiny_trace, tiny_labels):
+        est = estimate_impact(tiny_trace, tiny_labels)
+        boost = tiny_trace["freq_req_ghz"] >= 2.2
+        assert est.n_memory_in_boost == int(np.sum((tiny_labels == 0) & boost))
+        assert est.n_compute_in_normal == int(np.sum((tiny_labels == 1) & ~boost))
+
+    def test_savings_positive(self, tiny_trace, tiny_labels):
+        est = estimate_impact(tiny_trace, tiny_labels)
+        assert est.total_power_saving_mw > 0
+        assert est.total_energy_saving_gj > 0
+        assert est.total_saved_node_hours > 0
+
+    def test_per_job_power_saving_is_15_percent(self, tiny_trace, tiny_labels):
+        est = estimate_impact(tiny_trace, tiny_labels)
+        assert est.power_saving_w_per_job == pytest.approx(
+            0.15 * est.mean_power_w_memory_in_boost
+        )
+
+    def test_accuracy_scales_linearly(self, tiny_trace, tiny_labels):
+        full = estimate_impact(tiny_trace, tiny_labels, classifier_accuracy=1.0)
+        ninety = estimate_impact(tiny_trace, tiny_labels, classifier_accuracy=0.9)
+        assert ninety.total_power_saving_mw == pytest.approx(0.9 * full.total_power_saving_mw)
+        assert ninety.total_saved_node_hours == pytest.approx(0.9 * full.total_saved_node_hours)
+
+    def test_invalid_accuracy(self, tiny_trace, tiny_labels):
+        with pytest.raises(ValueError):
+            estimate_impact(tiny_trace, tiny_labels, classifier_accuracy=0.0)
+        with pytest.raises(ValueError):
+            estimate_impact(tiny_trace, tiny_labels, classifier_accuracy=1.1)
+
+    def test_characterizes_when_labels_missing(self, tiny_trace, tiny_labels):
+        a = estimate_impact(tiny_trace)
+        b = estimate_impact(tiny_trace, tiny_labels)
+        assert a.n_memory_in_boost == b.n_memory_in_boost
+
+    def test_summary_rows(self, tiny_trace, tiny_labels):
+        rows = estimate_impact(tiny_trace, tiny_labels).summary_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "memory-bound @ boost"
+
+    def test_energy_is_power_times_duration(self, tiny_trace, tiny_labels):
+        est = estimate_impact(tiny_trace, tiny_labels, classifier_accuracy=1.0)
+        boost = tiny_trace["freq_req_ghz"] >= 2.2
+        mask = (tiny_labels == 0) & boost
+        expected_j = 0.15 * float(
+            (tiny_trace["power_avg_w"][mask] * tiny_trace["duration"][mask]).sum()
+        )
+        assert est.total_energy_saving_gj == pytest.approx(expected_j / 1e9)

@@ -1,0 +1,78 @@
+"""Tests for Table II, the roofline figures and the frequency association."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline_plots import (
+    fig3_scatter_summary,
+    fig5_frequency_split,
+    frequency_position_association,
+)
+from repro.analysis.tables import Table2, table2_distribution
+
+
+class TestTable2:
+    def test_totals_consistent(self, tiny_trace, tiny_labels):
+        t = table2_distribution(tiny_trace, tiny_labels)
+        assert t.total == len(tiny_trace)
+        assert t.memory_total + t.compute_total == t.total
+
+    def test_memory_majority(self, tiny_trace, tiny_labels):
+        t = table2_distribution(tiny_trace, tiny_labels)
+        assert t.memory_to_compute_ratio > 1.5
+
+    def test_fractions_in_paper_ballpark(self, tiny_trace, tiny_labels):
+        t = table2_distribution(tiny_trace, tiny_labels)
+        # paper: 54% of memory-bound at normal mode; 31% of compute-bound at boost
+        assert 0.3 < t.frac_memory_in_normal < 0.8
+        assert 0.1 < t.frac_compute_in_boost < 0.6
+
+    def test_rows_shape(self, tiny_trace, tiny_labels):
+        rows = table2_distribution(tiny_trace, tiny_labels).rows()
+        assert len(rows) == 3
+        assert rows[2][0] == "Total"
+        assert rows[0][3] == rows[0][1] + rows[0][2]
+
+    def test_characterizes_when_labels_missing(self, tiny_trace, tiny_labels):
+        t = table2_distribution(tiny_trace)
+        t2 = table2_distribution(tiny_trace, tiny_labels)
+        assert t == t2
+
+    def test_manual_contingency(self):
+        t = Table2(normal_memory=891056, normal_compute=330878,
+                   boost_memory=752421, boost_compute=147097)
+        # the actual numbers of the paper's Table II
+        assert t.total == 2_121_452
+        assert t.memory_to_compute_ratio == pytest.approx(3.44, abs=0.01)
+        assert t.frac_memory_in_normal == pytest.approx(0.542, abs=0.001)
+        assert t.frac_compute_in_boost == pytest.approx(0.308, abs=0.001)
+
+
+class TestFig3:
+    def test_skew_toward_memory_bound(self, tiny_trace):
+        s = fig3_scatter_summary(tiny_trace)
+        assert s.n_jobs == len(tiny_trace)
+        assert s.frac_memory_bound > 0.5
+        assert s.median_op < 3.3
+
+    def test_most_jobs_below_ceilings(self, tiny_trace):
+        s = fig3_scatter_summary(tiny_trace)
+        assert s.frac_near_ceiling < 0.5
+
+
+class TestFig5:
+    def test_split_covers_both_modes(self, tiny_trace):
+        split = fig5_frequency_split(tiny_trace)
+        assert set(split) == {2.0, 2.2}
+        assert split[2.0].n_jobs + split[2.2].n_jobs == len(tiny_trace)
+
+    def test_both_modes_memory_skewed(self, tiny_trace):
+        """Fig 5: the scatter looks similar for both frequencies."""
+        split = fig5_frequency_split(tiny_trace)
+        for s in split.values():
+            assert s.frac_memory_bound > 0.5
+
+    def test_association_is_weak(self, tiny_trace):
+        """Fig 5: no observable correlation between frequency and position."""
+        r = frequency_position_association(tiny_trace)
+        assert abs(r) < 0.35

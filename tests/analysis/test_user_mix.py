@@ -1,0 +1,54 @@
+"""Tests for the per-user class-mix analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.user_mix import per_user_class_mix, top_users_by_jobs
+from repro.core import load_trace_into_db
+
+
+class TestTopUsers:
+    def test_sql_groupby_counts(self, tiny_trace):
+        db = load_trace_into_db(tiny_trace)
+        rows = top_users_by_jobs(db, k=5)
+        assert len(rows) == 5
+        counts = [r["count"] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+        # spot-check against numpy
+        users, np_counts = np.unique(tiny_trace["user_name"], return_counts=True)
+        assert rows[0]["count"] == int(np_counts.max())
+
+    def test_invalid_k(self, tiny_trace):
+        db = load_trace_into_db(tiny_trace)
+        with pytest.raises(ValueError):
+            top_users_by_jobs(db, k=0)
+
+
+class TestClassMix:
+    def test_summary_fields(self, tiny_trace, tiny_labels):
+        s = per_user_class_mix(tiny_trace, tiny_labels)
+        assert s.n_users > 0
+        assert 0.5 <= s.mean_dominance <= 1.0
+        assert 0.0 <= s.frac_users_over_90pct_one_class <= 1.0
+        assert len(s.top_users) <= 10
+        for name, n_jobs, mem_share in s.top_users:
+            assert n_jobs > 0
+            assert 0.0 <= mem_share <= 1.0
+
+    def test_users_are_specialized(self, tiny_trace, tiny_labels):
+        """The §V-A premise: user name is a strong prior for the label."""
+        s = per_user_class_mix(tiny_trace, tiny_labels)
+        assert s.mean_dominance > 0.7
+
+    def test_label_length_checked(self, tiny_trace):
+        with pytest.raises(ValueError):
+            per_user_class_mix(tiny_trace, np.zeros(3))
+
+    def test_min_jobs_filter(self, tiny_trace, tiny_labels):
+        strict_summary = per_user_class_mix(tiny_trace, tiny_labels, min_jobs=50)
+        loose_summary = per_user_class_mix(tiny_trace, tiny_labels, min_jobs=1)
+        assert strict_summary.n_users <= loose_summary.n_users
+
+    def test_min_jobs_too_high(self, tiny_trace, tiny_labels):
+        with pytest.raises(ValueError):
+            per_user_class_mix(tiny_trace, tiny_labels, min_jobs=10**9)

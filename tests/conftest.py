@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic traces and pipeline objects.
+
+Traces are generated once per session at tiny scale; tests that need
+different generator parameters build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import JobCharacterizer, load_trace_into_db
+from repro.fugaku import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """≈2750 jobs over the full 122-day span; fast to generate."""
+    return WorkloadGenerator(WorkloadConfig(scale=1 / 800, seed=123)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """≈11k jobs; used by the evaluation/integration tests."""
+    return WorkloadGenerator(WorkloadConfig(scale=1 / 200, seed=321)).generate()
+
+
+@pytest.fixture(scope="session")
+def characterizer():
+    return JobCharacterizer()
+
+
+@pytest.fixture(scope="session")
+def tiny_labels(tiny_trace, characterizer):
+    return characterizer.labels_from_trace(tiny_trace)
+
+
+@pytest.fixture()
+def jobs_db(tiny_trace):
+    """A fresh Database loaded with the tiny trace."""
+    return load_trace_into_db(tiny_trace)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,111 @@
+"""Tests for the classical categorical encoder (§III-B alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorical_encoder import CategoricalEncoder
+
+RECORDS = [
+    {"user_name": "u1", "job_name": "a.sh", "cores_req": 48,
+     "nodes_req": 1, "environment": "e1", "freq_req_ghz": 2.0},
+    {"user_name": "u1", "job_name": "b.sh", "cores_req": 96,
+     "nodes_req": 2, "environment": "e1", "freq_req_ghz": 2.2},
+    {"user_name": "u2", "job_name": "a.sh", "cores_req": 48,
+     "nodes_req": 1, "environment": "e2", "freq_req_ghz": 2.0},
+]
+
+
+class TestFit:
+    def test_vocabularies_learned(self):
+        enc = CategoricalEncoder().fit(RECORDS)
+        assert set(enc.vocabularies_["user_name"]) == {"u1", "u2"}
+        assert enc.vocabularies_["user_name"]["u1"] == 1  # most frequent first
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalEncoder().fit([])
+
+    def test_missing_feature_rejected(self):
+        with pytest.raises(KeyError):
+            CategoricalEncoder().fit([{"user_name": "x"}])
+
+    def test_max_categories_cap(self):
+        records = [dict(RECORDS[0], job_name=f"j{i}") for i in range(50)]
+        enc = CategoricalEncoder(max_categories=8).fit(records)
+        assert len(enc.vocabularies_["job_name"]) == 7  # code 0 reserved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalEncoder(feature_set=())
+        with pytest.raises(ValueError):
+            CategoricalEncoder(mode="embedding")
+        with pytest.raises(ValueError):
+            CategoricalEncoder(max_categories=1)
+
+
+class TestOrdinal:
+    def test_shape_and_range(self):
+        enc = CategoricalEncoder().fit(RECORDS)
+        X = enc.encode(RECORDS)
+        assert X.shape == (3, 6)
+        assert X.dtype == np.float32
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_same_value_same_code(self):
+        enc = CategoricalEncoder(feature_set=("job_name",)).fit(RECORDS)
+        X = enc.encode(RECORDS)
+        assert X[0, 0] == X[2, 0]  # both a.sh
+        assert X[0, 0] != X[1, 0]
+
+    def test_unseen_maps_to_unknown(self):
+        enc = CategoricalEncoder(feature_set=("job_name",)).fit(RECORDS)
+        X = enc.encode([dict(RECORDS[0], job_name="never_seen.sh")])
+        assert X[0, 0] == 0.0
+
+    def test_unfitted_encode_rejected(self):
+        with pytest.raises(RuntimeError):
+            CategoricalEncoder().encode(RECORDS)
+
+    def test_empty_encode(self):
+        enc = CategoricalEncoder().fit(RECORDS)
+        assert enc.encode([]).shape == (0, 6)
+
+
+class TestOneHot:
+    def test_dim_is_total_vocab(self):
+        enc = CategoricalEncoder(
+            feature_set=("user_name", "job_name"), mode="onehot"
+        ).fit(RECORDS)
+        # (2 users + unk) + (2 names + unk)
+        assert enc.dim == 6
+        X = enc.encode(RECORDS)
+        assert X.shape == (3, 6)
+
+    def test_one_hot_rows(self):
+        enc = CategoricalEncoder(feature_set=("user_name",), mode="onehot").fit(RECORDS)
+        X = enc.encode(RECORDS)
+        assert np.allclose(X.sum(axis=1), 1.0)
+
+    def test_unseen_hits_unknown_slot(self):
+        enc = CategoricalEncoder(feature_set=("user_name",), mode="onehot").fit(RECORDS)
+        X = enc.encode([dict(RECORDS[0], user_name="ghost")])
+        assert X[0, 0] == 1.0
+
+
+class TestUnknownRate:
+    def test_zero_on_training_data(self):
+        enc = CategoricalEncoder().fit(RECORDS)
+        assert enc.unknown_rate(RECORDS) == 0.0
+
+    def test_counts_unseen_values(self):
+        enc = CategoricalEncoder(feature_set=("user_name", "job_name")).fit(RECORDS)
+        probe = [dict(RECORDS[0], user_name="ghost", job_name="a.sh")]
+        assert enc.unknown_rate(probe) == pytest.approx(0.5)
+
+    def test_generalization_gap_vs_embedder(self, tiny_trace):
+        """The §V-A story: categorical mapping cannot place unseen values."""
+        records = [r.as_dict() for r in tiny_trace.iter_rows()]
+        cut = len(records) * 2 // 3
+        enc = CategoricalEncoder().fit(records[:cut])
+        # later jobs include templates born after the fit window
+        assert enc.unknown_rate(records[cut:]) > 0.0

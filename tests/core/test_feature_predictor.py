@@ -1,0 +1,96 @@
+"""Tests for pre-execution prediction of duration/power (§VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataFetcher, JobFeaturePredictor, load_trace_into_db
+from repro.fugaku.workload import DAY_SECONDS
+from repro.mlcore.base import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def windows(small_trace):
+    train = small_trace.between(10 * DAY_SECONDS, 40 * DAY_SECONDS)
+    test = small_trace.between(40 * DAY_SECONDS, 42 * DAY_SECONDS)
+    train_records = [r.as_dict() for r in train.iter_rows()]
+    test_records = [r.as_dict() for r in test.iter_rows()]
+    return train_records, test_records
+
+
+class TestTargets:
+    def test_unsupported_target_rejected(self):
+        with pytest.raises(ValueError):
+            JobFeaturePredictor("user_name")
+
+    def test_duration_prediction_beats_global_mean(self, windows):
+        train, test = windows
+        predictor = JobFeaturePredictor("duration").training(train)
+        y_true = np.array([r["duration"] for r in test])
+        y_pred = predictor.inference(test)
+        assert y_pred.shape == y_true.shape
+        assert np.all(y_pred >= 0)
+        mean_pred = np.full_like(y_true, np.mean([r["duration"] for r in train]))
+        err_model = predictor.median_relative_error(y_true, y_pred)
+        err_mean = predictor.median_relative_error(y_true, mean_pred)
+        assert err_model < err_mean
+
+    def test_power_prediction_reasonable(self, windows):
+        train, test = windows
+        predictor = JobFeaturePredictor("power_avg_w").training(train)
+        y_true = np.array([r["power_avg_w"] for r in test])
+        y_pred = predictor.inference(test)
+        # similar jobs repeat: the median relative error should be small
+        assert predictor.median_relative_error(y_true, y_pred) < 0.5
+
+    def test_nodes_prediction_near_exact(self, windows):
+        """#nodes is fixed per template, so known templates predict exactly."""
+        train, test = windows
+        predictor = JobFeaturePredictor(
+            "nodes_alloc", log_target=False, n_neighbors=1
+        ).training(train)
+        y_true = np.array([r["nodes_alloc"] for r in test], dtype=float)
+        y_pred = predictor.inference(test)
+        assert np.mean(np.round(y_pred) == y_true) > 0.7
+
+
+class TestWorkflow:
+    def test_inference_requires_training(self, windows):
+        _, test = windows
+        with pytest.raises(NotFittedError):
+            JobFeaturePredictor("duration").inference(test)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            JobFeaturePredictor("duration").training([])
+
+    def test_empty_inference(self, windows):
+        train, _ = windows
+        predictor = JobFeaturePredictor("duration").training(train)
+        assert predictor.inference([]).shape == (0,)
+
+    def test_train_window_through_fetcher(self, small_trace):
+        db = load_trace_into_db(small_trace)
+        predictor = JobFeaturePredictor("duration")
+        predictor.train_window(DataFetcher(db), 10 * DAY_SECONDS, 30 * DAY_SECONDS)
+        assert predictor.is_trained
+
+    def test_log_target_flag(self, windows):
+        train, test = windows
+        lin = JobFeaturePredictor("duration", log_target=False).training(train)
+        log = JobFeaturePredictor("duration", log_target=True).training(train)
+        assert lin.inference(test).shape == log.inference(test).shape
+
+
+class TestErrorMetrics:
+    def test_mape(self):
+        assert JobFeaturePredictor.mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(0.1)
+
+    def test_median_relative_error(self):
+        got = JobFeaturePredictor.median_relative_error(
+            [100.0, 100.0, 100.0], [100.0, 150.0, 400.0]
+        )
+        assert got == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            JobFeaturePredictor.mape([1.0], [1.0, 2.0])

@@ -1,0 +1,115 @@
+"""Tests for the MCBound facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import MCBound, MCBoundConfig, load_trace_into_db
+from repro.fugaku.workload import DAY_SECONDS
+from repro.mlcore.base import NotFittedError
+
+
+def make_framework(trace, tmp_path=None, **cfg_over):
+    cfg = MCBoundConfig(
+        algorithm=cfg_over.pop("algorithm", "RF"),
+        model_params=cfg_over.pop(
+            "model_params",
+            {"n_estimators": 5, "max_depth": 8, "splitter": "hist", "random_state": 0},
+        ),
+        **cfg_over,
+    )
+    db = load_trace_into_db(trace)
+    root = str(tmp_path / "models") if tmp_path is not None else None
+    return MCBound(cfg, db, model_store_root=root)
+
+
+@pytest.fixture(scope="module")
+def now():
+    return 40 * DAY_SECONDS
+
+
+class TestTraining:
+    def test_train_summary(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        summary = fw.train(now, alpha_days=20)
+        assert summary["n_jobs"] > 0
+        assert set(summary["class_counts"]) <= {0, 1}
+        assert summary["window"] == (now - 20 * DAY_SECONDS, now)
+        assert fw.model is not None
+
+    def test_default_alpha_from_config(self, tiny_trace, now):
+        fw = make_framework(tiny_trace, alpha_days=10.0)
+        summary = fw.train(now)
+        assert summary["window"][0] == now - 10 * DAY_SECONDS
+
+    def test_empty_window_rejected(self, tiny_trace):
+        fw = make_framework(tiny_trace)
+        with pytest.raises(ValueError, match="no jobs"):
+            fw.train(-100 * DAY_SECONDS, alpha_days=1)
+
+    def test_publishes_to_store(self, tiny_trace, now, tmp_path):
+        fw = make_framework(tiny_trace, tmp_path)
+        s1 = fw.train(now, alpha_days=15)
+        s2 = fw.train(now + DAY_SECONDS, alpha_days=15)
+        assert (s1["version"], s2["version"]) == (1, 2)
+
+    def test_label_cache_reused(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=15)
+        cached = len(fw.label_cache)
+        assert cached > 0
+        fw.train(now, alpha_days=15)  # same window: nothing new to label
+        assert len(fw.label_cache) == cached
+
+
+class TestInference:
+    def test_predict_before_training_raises(self, tiny_trace):
+        fw = make_framework(tiny_trace)
+        with pytest.raises(NotFittedError):
+            fw.predict_job(1)
+
+    def test_predict_window(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=20)
+        ids, labels = fw.predict_window(now, now + DAY_SECONDS)
+        assert ids.shape == labels.shape
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_predict_single_job(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=20)
+        ids, _ = fw.predict_window(now, now + DAY_SECONDS)
+        assert fw.predict_job(int(ids[0])) in (0, 1)
+
+    def test_predict_unknown_job(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=20)
+        with pytest.raises(KeyError):
+            fw.predict_job(99_999_999)
+
+    def test_predictions_reasonably_accurate(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=30)
+        ids, pred = fw.predict_window(now, now + 3 * DAY_SECONDS)
+        _, truth = fw.characterize_window(now, now + 3 * DAY_SECONDS)
+        assert float(np.mean(pred == truth)) > 0.6
+
+    def test_model_reloaded_from_store(self, tiny_trace, now, tmp_path):
+        fw = make_framework(tiny_trace, tmp_path)
+        fw.train(now, alpha_days=20)
+        # a fresh framework instance finds the persisted model
+        fw2 = make_framework(tiny_trace, tmp_path)
+        assert fw2.model is None
+        label = fw2.predict_job(1)
+        assert label in (0, 1)
+        assert fw2.model is not None
+
+
+class TestCharacterization:
+    def test_characterize_window(self, tiny_trace, characterizer):
+        fw = make_framework(tiny_trace)
+        ids, labels = fw.characterize_window(0.0, 10 * DAY_SECONDS)
+        sub = tiny_trace.between(0.0, 10 * DAY_SECONDS)
+        expected = characterizer.labels_from_trace(sub)
+        # DB returns jobs ordered by submit time, same as the trace slice
+        assert np.array_equal(np.sort(ids), np.sort(sub["job_id"]))
+        assert np.array_equal(labels, expected)

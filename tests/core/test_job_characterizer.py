@@ -1,0 +1,91 @@
+"""Tests for the Job Characterizer component (§III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.job_characterizer import FugakuCounterTransform, JobCharacterizer
+from repro.fugaku.counters import counters_from_flops_bytes
+from repro.roofline.characterize import COMPUTE_BOUND, MEMORY_BOUND
+
+
+class TestInitialization:
+    def test_default_is_fugaku(self):
+        ch = JobCharacterizer()
+        assert ch.ridge_point == pytest.approx(3.30, abs=0.01)
+
+    def test_custom_system(self):
+        ch = JobCharacterizer(1000.0, 100.0)
+        assert ch.ridge_point == pytest.approx(10.0)
+
+    def test_label_names(self):
+        assert JobCharacterizer.LABEL_NAMES == ("memory-bound", "compute-bound")
+        assert JobCharacterizer.MEMORY_BOUND == 0
+        assert JobCharacterizer.COMPUTE_BOUND == 1
+
+
+class TestGenerateLabels:
+    def test_paper_method_signature(self):
+        """generate_labels(#flops, duration, #nodes_alloc, #moved_memory_bytes)."""
+        ch = JobCharacterizer()
+        labels = ch.generate_labels(
+            np.array([1e12, 1e14]),
+            np.array([100.0, 100.0]),
+            np.array([1, 1]),
+            np.array([1e12, 1e12]),
+        )
+        assert labels.tolist() == [MEMORY_BOUND, COMPUTE_BOUND]
+
+    def test_characterize_returns_coordinates(self):
+        ch = JobCharacterizer()
+        p, mb, op, lab = ch.characterize(1e12, 10.0, 2, 5e11)
+        assert np.asarray(p) == pytest.approx(50.0)
+        assert np.asarray(mb) == pytest.approx(25.0)
+        assert np.asarray(op) == pytest.approx(2.0)
+        assert lab == MEMORY_BOUND
+
+
+class TestCounterTransform:
+    def test_fugaku_equations(self):
+        tr = FugakuCounterTransform()
+        flops, moved = tr(10.0, 5.0, 12.0, 0.0)
+        assert flops == 30.0  # 10 + 5*4
+        assert moved == pytest.approx(256.0)  # 12*256/12
+
+    def test_labels_from_records_roundtrip(self):
+        """Counters synthesized at a known roofline point get the right label."""
+        ch = JobCharacterizer()
+        records = []
+        for op, want in ((0.5, MEMORY_BOUND), (50.0, COMPUTE_BOUND)):
+            flops = 1e12
+            moved = flops / op
+            p2, p3, p4, p5 = counters_from_flops_bytes(flops, moved)
+            records.append(
+                {"perf2": p2, "perf3": p3, "perf4": p4, "perf5": p5,
+                 "duration": 100.0, "nodes_alloc": 2}
+            )
+        labels = ch.labels_from_records(records)
+        assert labels.tolist() == [MEMORY_BOUND, COMPUTE_BOUND]
+
+    def test_empty_records(self):
+        assert JobCharacterizer().labels_from_records([]).size == 0
+
+
+class TestTraceLevel:
+    def test_labels_match_record_path(self, tiny_trace, characterizer):
+        sub = tiny_trace.select(np.arange(50))
+        fast = characterizer.labels_from_trace(sub)
+        slow = characterizer.labels_from_records([r.as_dict() for r in sub.iter_rows()])
+        assert np.array_equal(fast, slow)
+
+    def test_roofline_coordinates_consistent(self, tiny_trace, characterizer):
+        p, mb, op, lab = characterizer.roofline_coordinates(tiny_trace)
+        assert p.shape == (len(tiny_trace),)
+        # op = p / mb by Equation 3
+        assert np.allclose(op, p / mb, rtol=1e-9)
+        # labels consistent with ridge rule
+        assert np.array_equal(lab == COMPUTE_BOUND, op > characterizer.ridge_point)
+
+    def test_labels_deterministic(self, tiny_trace, characterizer):
+        a = characterizer.labels_from_trace(tiny_trace)
+        b = characterizer.labels_from_trace(tiny_trace)
+        assert np.array_equal(a, b)

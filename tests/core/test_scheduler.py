@@ -1,0 +1,117 @@
+"""Tests for the simulated clock and cron scheduling (§III-E)."""
+
+import pytest
+
+from repro.core.scheduler import CronSchedule, Scheduler, SimClock
+
+DAY = 86_400.0
+
+
+class TestSimClock:
+    def test_advances(self):
+        c = SimClock(10.0)
+        c.advance_to(20.0)
+        assert c.now == 20.0
+
+    def test_no_time_travel(self):
+        c = SimClock(10.0)
+        with pytest.raises(ValueError):
+            c.advance_to(5.0)
+
+
+class TestCronSchedule:
+    def test_occurrences(self):
+        s = CronSchedule(interval_days=1.0)
+        occ = s.occurrences(0.0, 3 * DAY)
+        assert occ == [0.0, DAY, 2 * DAY]
+
+    def test_offset(self):
+        s = CronSchedule(interval_days=2.0, offset_days=0.5)
+        occ = s.occurrences(0.0, 5 * DAY)
+        assert occ == [0.5 * DAY, 2.5 * DAY, 4.5 * DAY]
+
+    def test_next_after(self):
+        s = CronSchedule(interval_days=1.0)
+        assert s.next_after(0.0, 0.0) == DAY
+        assert s.next_after(DAY * 1.5, 0.0) == 2 * DAY
+        assert s.next_after(-5.0, 0.0) == 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CronSchedule(0.0)
+
+
+class TestScheduler:
+    def test_fires_in_time_order(self):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        fired = []
+        sched.every(2.0, lambda t: fired.append(("a", t)))
+        sched.every(3.0, lambda t: fired.append(("b", t)))
+        sched.run_until(7 * DAY)
+        times = [t for _, t in fired]
+        assert times == sorted(times)
+        a_times = [t for n, t in fired if n == "a"]
+        assert a_times == [0.0, 2 * DAY, 4 * DAY, 6 * DAY]
+
+    def test_tie_breaks_by_registration(self):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        fired = []
+        sched.every(1.0, lambda t: fired.append("first"))
+        sched.every(1.0, lambda t: fired.append("second"))
+        sched.run_until(1.0)  # only t=0 fires
+        assert fired == ["first", "second"]
+
+    def test_clock_at_end(self):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        sched.every(10.0, lambda t: None)
+        sched.run_until(5 * DAY)
+        assert clock.now == 5 * DAY
+
+    def test_log_contains_job_ids(self):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        ida = sched.every(1.0, lambda t: None)
+        idb = sched.every(2.0, lambda t: None)
+        log = sched.run_until(3 * DAY)
+        assert (0.0, ida) in log and (0.0, idb) in log
+        assert (DAY, ida) in log
+        assert (DAY, idb) not in log
+
+    def test_paper_deployment_pattern(self):
+        """Cron retraining every β days + daily periodic inference."""
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        trainings, inferences = [], []
+        beta = 2.0
+        sched.every(beta, trainings.append)
+        sched.every(1.0, inferences.append, offset_days=0.5)
+        sched.run_until(10 * DAY)
+        assert len(trainings) == 5
+        assert len(inferences) == 10
+        # every inference happens after at least one training
+        assert min(inferences) > min(trainings)
+
+
+class TestFloatGridRegression:
+    def test_next_after_strictly_increases_on_grid_points(self):
+        """Regression: (t - first) // step can floor under-count when t sits
+        exactly on the schedule grid, which used to return t itself and spin
+        the scheduler forever (found by the property tests)."""
+        s = CronSchedule(interval_days=0.9012051940133423)
+        t = 0.0
+        for _ in range(10_000):
+            nxt = s.next_after(t, 0.0)
+            assert nxt > t
+            t = nxt
+
+    def test_run_until_terminates_on_adversarial_intervals(self):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        fired = []
+        sched.every(0.9012051940133423, fired.append)
+        sched.every(19.630669874839654, fired.append)
+        sched.run_until(4.640786921020104 * DAY)
+        assert len(fired) <= 8

@@ -1,0 +1,61 @@
+"""Property-based tests of the cron schedule algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import CronSchedule, Scheduler, SimClock
+
+DAY = 86_400.0
+
+_interval = st.floats(min_value=0.25, max_value=20.0)
+_offset = st.floats(min_value=0.0, max_value=10.0)
+_span = st.floats(min_value=0.0, max_value=40.0)
+
+
+class TestCronScheduleProperties:
+    @given(interval=_interval, offset=_offset, span=_span)
+    @settings(max_examples=150, deadline=None)
+    def test_occurrence_count_matches_arithmetic(self, interval, offset, span):
+        s = CronSchedule(interval, offset)
+        occ = s.occurrences(0.0, span * DAY)
+        # occurrences are offset + k*interval for k = 0.. while < span
+        expected = 0
+        t = offset
+        while t < span - 1e-12:
+            expected += 1
+            t += interval
+        assert abs(len(occ) - expected) <= 1  # float-edge tolerance
+
+    @given(interval=_interval, offset=_offset, span=_span)
+    @settings(max_examples=150, deadline=None)
+    def test_occurrences_sorted_and_spaced(self, interval, offset, span):
+        s = CronSchedule(interval, offset)
+        occ = s.occurrences(0.0, span * DAY)
+        for a, b in zip(occ, occ[1:]):
+            assert b - a >= interval * DAY * 0.999
+
+    @given(interval=_interval, offset=_offset, t=st.floats(-5.0, 50.0))
+    @settings(max_examples=200, deadline=None)
+    def test_next_after_is_strictly_after(self, interval, offset, t):
+        s = CronSchedule(interval, offset)
+        nxt = s.next_after(t * DAY, 0.0)
+        assert nxt > t * DAY
+        # and it is on the grid
+        k = (nxt - offset * DAY) / (interval * DAY)
+        assert abs(k - round(k)) < 1e-6
+
+    @given(
+        intervals=st.lists(_interval, min_size=1, max_size=4),
+        span=st.floats(min_value=1.0, max_value=15.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scheduler_log_is_time_ordered(self, intervals, span):
+        clock = SimClock(0.0)
+        sched = Scheduler(clock)
+        for iv in intervals:
+            sched.every(iv, lambda t: None)
+        log = sched.run_until(span * DAY)
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        assert clock.now == span * DAY
+        assert all(t < span * DAY for t in times)

@@ -1,0 +1,131 @@
+"""Tests for the MCBound HTTP API (§III-E)."""
+
+import pytest
+
+from repro.core import MCBound, MCBoundConfig, build_app, load_trace_into_db
+from repro.fugaku.workload import DAY_SECONDS
+from repro.web import TestClient
+
+
+@pytest.fixture()
+def client(tiny_trace, tmp_path):
+    cfg = MCBoundConfig(
+        algorithm="KNN",
+        model_params={"n_neighbors": 3, "algorithm": "brute"},
+        alpha_days=20.0,
+    )
+    fw = MCBound(cfg, load_trace_into_db(tiny_trace), model_store_root=tmp_path / "m")
+    return TestClient(build_app(fw))
+
+
+NOW = 40 * DAY_SECONDS
+
+
+class TestHealthAndConfig:
+    def test_health(self, client):
+        body = client.get("/health").json()
+        assert body["status"] == "ok"
+        assert body["model_trained"] is False
+        assert body["algorithm"] == "KNN"
+
+    def test_config(self, client):
+        body = client.get("/config").json()
+        assert body["algorithm"] == "KNN"
+        assert body["feature_set"][0] == "user_name"
+
+    def test_ridge(self, client):
+        body = client.get("/ridge").json()
+        assert body["ridge_point_flops_per_byte"] == pytest.approx(3.30, abs=0.01)
+
+
+class TestTrainEndpoint:
+    def test_train_then_health(self, client):
+        r = client.post("/train", json_body={"now": NOW})
+        assert r.status == 201
+        body = r.json()
+        assert body["n_jobs"] > 0
+        assert body["version"] == 1
+        assert client.get("/health").json()["model_trained"] is True
+
+    def test_train_missing_now(self, client):
+        assert client.post("/train", json_body={}).status == 400
+
+    def test_train_empty_window_conflict(self, client):
+        r = client.post("/train", json_body={"now": -999 * DAY_SECONDS, "alpha_days": 1})
+        assert r.status == 409
+
+    def test_alpha_override(self, client):
+        r = client.post("/train", json_body={"now": NOW, "alpha_days": 5})
+        assert r.json()["window"][0] == NOW - 5 * DAY_SECONDS
+
+
+class TestPredictEndpoint:
+    def test_predict_before_training_503(self, client):
+        r = client.post("/predict", json_body={"job_id": 1})
+        assert r.status == 503
+
+    def test_predict_by_job_id(self, client):
+        client.post("/train", json_body={"now": NOW})
+        r = client.post("/predict", json_body={"job_id": 1})
+        assert r.status == 200
+        body = r.json()
+        assert body["labels"][0] in (0, 1)
+        assert body["label_names"][0] in ("memory-bound", "compute-bound")
+
+    def test_predict_window(self, client):
+        client.post("/train", json_body={"now": NOW})
+        r = client.post(
+            "/predict", json_body={"start_time": NOW, "end_time": NOW + DAY_SECONDS}
+        )
+        body = r.json()
+        assert len(body["job_ids"]) == len(body["labels"]) > 0
+
+    def test_predict_raw_records(self, client):
+        client.post("/train", json_body={"now": NOW})
+        job = {
+            "user_name": "riken-ra0001", "job_name": "run.sh", "cores_req": 48,
+            "nodes_req": 1, "environment": "gcc", "freq_req_ghz": 2.0,
+        }
+        r = client.post("/predict", json_body={"jobs": [job]})
+        assert r.status == 200
+        assert len(r.json()["labels"]) == 1
+
+    def test_predict_unknown_job_404(self, client):
+        client.post("/train", json_body={"now": NOW})
+        assert client.post("/predict", json_body={"job_id": 99999999}).status == 404
+
+    def test_predict_bad_body(self, client):
+        client.post("/train", json_body={"now": NOW})
+        assert client.post("/predict", json_body={"bogus": 1}).status == 400
+        assert client.post("/predict", json_body={"jobs": "notalist"}).status == 400
+
+
+class TestCharacterizeEndpoint:
+    def test_window(self, client):
+        r = client.post(
+            "/characterize", json_body={"start_time": 0.0, "end_time": 5 * DAY_SECONDS}
+        )
+        body = r.json()
+        assert len(body["labels"]) > 0
+        assert set(body["labels"]) <= {0, 1}
+
+    def test_records_with_counters(self, client):
+        job = {"perf2": 1e15, "perf3": 1e15, "perf4": 1e10, "perf5": 1e10,
+               "duration": 100.0, "nodes_alloc": 1}
+        r = client.post("/characterize", json_body={"jobs": [job]})
+        assert r.status == 200
+
+    def test_bad_body(self, client):
+        assert client.post("/characterize", json_body={}).status == 400
+
+
+class TestModelsEndpoint:
+    def test_lists_versions(self, client):
+        assert client.get("/models").json() == {
+            "versions": [], "latest": None, "persistent": True,
+        }
+        client.post("/train", json_body={"now": NOW})
+        client.post("/train", json_body={"now": NOW + DAY_SECONDS})
+        body = client.get("/models").json()
+        assert body["versions"] == [1, 2]
+        assert body["latest"] == 2

@@ -1,0 +1,240 @@
+"""Tests for the prediction-guided dispatch simulator (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import JobCharacterizer
+from repro.dispatch import (
+    Cluster,
+    CoschedulePolicy,
+    DispatchSimulator,
+    FrequencyPolicy,
+    simulate_dispatch,
+)
+from repro.dispatch.policies import (
+    COMPLEMENTARY_SLOWDOWN,
+    CONTENTION_SLOWDOWN,
+    DURATION_CUT_BOOST,
+    POWER_CUT_NORMAL,
+)
+from repro.fugaku.trace import JobTrace
+from repro.fugaku.workload import DAY_SECONDS
+from repro.roofline.characterize import COMPUTE_BOUND, MEMORY_BOUND
+
+
+class TestCluster:
+    def test_allocation_accounting(self):
+        c = Cluster(10)
+        c.allocate(1, 4)
+        assert c.free_nodes == 6 and c.used_nodes == 4
+        assert c.release(1) == 4
+        assert c.free_nodes == 10
+
+    def test_over_allocation_rejected(self):
+        c = Cluster(3)
+        with pytest.raises(RuntimeError):
+            c.allocate(1, 4)
+
+    def test_duplicate_id_rejected(self):
+        c = Cluster(5)
+        c.allocate(1, 1)
+        with pytest.raises(RuntimeError):
+            c.allocate(1, 1)
+
+    def test_release_unknown(self):
+        with pytest.raises(KeyError):
+            Cluster(2).release(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+        with pytest.raises(ValueError):
+            Cluster(2).allocate(1, 0)
+
+
+class TestFrequencyPolicy:
+    def test_user_keeps_submitted(self):
+        p = FrequencyPolicy("user")
+        assert p.frequency(2.0, COMPUTE_BOUND) == 2.0
+
+    def test_oracle_sets_by_class(self):
+        p = FrequencyPolicy("oracle")
+        assert p.frequency(2.0, COMPUTE_BOUND) == 2.2
+        assert p.frequency(2.2, MEMORY_BOUND) == 2.0
+
+    def test_duration_delta_only_for_true_compute(self):
+        p = FrequencyPolicy("oracle")
+        # normal -> boost: 10% faster
+        assert p.effective_duration(100.0, 2.0, 2.2, COMPUTE_BOUND) == pytest.approx(
+            100.0 * (1 - DURATION_CUT_BOOST)
+        )
+        # boost -> normal: inverse
+        assert p.effective_duration(90.0, 2.2, 2.0, COMPUTE_BOUND) == pytest.approx(100.0)
+        # unchanged frequency or memory-bound: no effect
+        assert p.effective_duration(100.0, 2.2, 2.2, COMPUTE_BOUND) == 100.0
+        assert p.effective_duration(100.0, 2.0, 2.2, MEMORY_BOUND) == 100.0
+
+    def test_power_delta_only_for_true_memory(self):
+        p = FrequencyPolicy("oracle")
+        assert p.effective_power(1000.0, 2.2, 2.0, MEMORY_BOUND) == pytest.approx(
+            1000.0 * (1 - POWER_CUT_NORMAL)
+        )
+        assert p.effective_power(850.0, 2.0, 2.2, MEMORY_BOUND) == pytest.approx(1000.0)
+        assert p.effective_power(1000.0, 2.0, 2.0, MEMORY_BOUND) == 1000.0
+        assert p.effective_power(1000.0, 2.2, 2.0, COMPUTE_BOUND) == 1000.0
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPolicy("ai")
+
+
+class TestCoschedulePolicy:
+    def test_slowdowns(self):
+        assert CoschedulePolicy.pair_slowdown(MEMORY_BOUND, COMPUTE_BOUND) == COMPLEMENTARY_SLOWDOWN
+        assert CoschedulePolicy.pair_slowdown(MEMORY_BOUND, MEMORY_BOUND) == CONTENTION_SLOWDOWN
+
+
+def _toy_trace(n=6, nodes=1, duration=100.0, gap=1000.0):
+    cols = {
+        "job_id": np.arange(1, n + 1),
+        "user_name": np.array(["u"] * n, dtype=object),
+        "job_name": np.array(["j"] * n, dtype=object),
+        "environment": np.array(["e"] * n, dtype=object),
+        "nodes_req": np.full(n, nodes),
+        "cores_req": np.full(n, nodes * 48),
+        "nodes_alloc": np.full(n, nodes),
+        "freq_req_ghz": np.full(n, 2.2),
+        "submit_time": np.arange(n) * gap,
+        "start_time": np.arange(n) * gap,
+        "end_time": np.arange(n) * gap + duration,
+        "duration": np.full(n, duration),
+        "perf2": np.full(n, 1e12),
+        "perf3": np.full(n, 1e12),
+        "perf4": np.full(n, 1e10),
+        "perf5": np.full(n, 1e10),
+        "power_avg_w": np.full(n, 1000.0),
+    }
+    return JobTrace(cols)
+
+
+class TestSimulatorBasics:
+    def test_sequential_jobs_no_wait(self):
+        trace = _toy_trace(n=4, gap=1000.0, duration=100.0)
+        y = np.array([0, 1, 0, 1])
+        m = simulate_dispatch(trace, y, n_nodes=4)
+        assert m.n_jobs == 4
+        assert m.mean_wait_s == 0.0
+        assert m.makespan_s == pytest.approx(3000.0 + 100.0)
+
+    def test_contended_jobs_queue(self):
+        # 4 single-node jobs arrive together on a 1-node cluster
+        trace = _toy_trace(n=4, gap=0.0, duration=100.0)
+        y = np.zeros(4, dtype=int)
+        m = simulate_dispatch(trace, y, n_nodes=1)
+        assert m.n_jobs == 4
+        assert m.makespan_s == pytest.approx(400.0)
+        assert m.mean_wait_s == pytest.approx((0 + 100 + 200 + 300) / 4)
+
+    def test_energy_is_power_times_duration(self):
+        trace = _toy_trace(n=2, gap=1000.0, duration=100.0)
+        y = np.zeros(2, dtype=int)
+        m = simulate_dispatch(trace, y, n_nodes=2)
+        # both jobs memory-bound at boost: no frequency effect under "user"
+        assert m.total_energy_gj == pytest.approx(2 * 1000.0 * 100.0 / 1e9)
+
+    def test_oracle_frequency_saves_energy(self):
+        # all submitted at boost: memory-bound jobs are moved to normal mode
+        trace = _toy_trace(n=4, gap=0.0, duration=100.0)
+        y = np.array([MEMORY_BOUND, MEMORY_BOUND, COMPUTE_BOUND, COMPUTE_BOUND])
+        base = simulate_dispatch(trace, y, n_nodes=4)
+        oracle = simulate_dispatch(trace, y, n_nodes=4, frequency_source="oracle")
+        assert oracle.total_energy_gj < base.total_energy_gj
+        # compute-bound jobs were already at boost: same node time
+        assert oracle.total_node_seconds == pytest.approx(base.total_node_seconds)
+
+    def test_labels_length_checked(self):
+        trace = _toy_trace(n=2)
+        with pytest.raises(ValueError):
+            simulate_dispatch(trace, np.zeros(3, dtype=int), n_nodes=2)
+
+    def test_oversized_jobs_clamped_to_cluster(self):
+        trace = _toy_trace(n=1, nodes=100)
+        m = simulate_dispatch(trace, np.zeros(1, dtype=int), n_nodes=8)
+        assert m.n_jobs == 1
+
+
+class TestCoscheduling:
+    def test_complementary_pair_shares_nodes(self):
+        trace = _toy_trace(n=2, gap=0.0, duration=100.0)
+        y = np.array([MEMORY_BOUND, COMPUTE_BOUND])
+        m = simulate_dispatch(
+            trace, y, n_nodes=1, frequency_source="oracle", coschedule=True
+        )
+        assert m.n_coscheduled == 2
+        assert m.n_contention_pairs == 0
+        # pair runs concurrently on 1 node with the complementary slowdown;
+        # exclusive dispatch would need ~2x the time
+        assert m.makespan_s < 200.0
+
+    def test_misprediction_causes_contention(self):
+        trace = _toy_trace(n=2, gap=0.0, duration=100.0)
+        y = np.array([MEMORY_BOUND, MEMORY_BOUND])  # truth: same class
+        pred = np.array([MEMORY_BOUND, COMPUTE_BOUND])  # predictor disagrees
+        m = simulate_dispatch(
+            trace, y, n_nodes=1, frequency_source="mcbound",
+            coschedule=True, predicted_labels=pred,
+        )
+        assert m.n_coscheduled == 2
+        assert m.n_contention_pairs == 1
+
+    def test_cosched_off_is_exclusive(self):
+        trace = _toy_trace(n=2, gap=0.0, duration=100.0)
+        y = np.array([MEMORY_BOUND, COMPUTE_BOUND])
+        m = simulate_dispatch(trace, y, n_nodes=1, frequency_source="oracle")
+        assert m.n_coscheduled == 0
+        assert m.makespan_s >= 190.0
+
+    def test_different_node_requests_not_paired(self):
+        trace = _toy_trace(n=2, gap=0.0, duration=100.0)
+        cols = {k: trace[k].copy() for k in trace.column_names}
+        cols["nodes_alloc"] = np.array([1, 2])
+        cols["nodes_req"] = np.array([1, 2])
+        trace2 = JobTrace(cols)
+        y = np.array([MEMORY_BOUND, COMPUTE_BOUND])
+        m = simulate_dispatch(
+            trace2, y, n_nodes=4, frequency_source="oracle", coschedule=True
+        )
+        assert m.n_coscheduled == 0
+
+
+class TestOnRealTrace:
+    @pytest.fixture(scope="class")
+    def staged(self, tiny_trace):
+        sl = tiny_trace.between(62 * DAY_SECONDS, 66 * DAY_SECONDS)
+        y = JobCharacterizer().labels_from_trace(sl)
+        return sl, y
+
+    def test_mcbound_recovers_most_of_oracle_savings(self, staged):
+        sl, y = staged
+        rng = np.random.default_rng(1)
+        pred = y.copy()
+        flip = rng.random(len(y)) < 0.10  # the paper's ~90% accuracy
+        pred[flip] = 1 - pred[flip]
+        nodes = int(sl["nodes_alloc"].max() * 4)
+        user = simulate_dispatch(sl, y, n_nodes=nodes)
+        mcb = simulate_dispatch(
+            sl, y, n_nodes=nodes, frequency_source="mcbound", predicted_labels=pred
+        )
+        oracle = simulate_dispatch(sl, y, n_nodes=nodes, frequency_source="oracle")
+        assert oracle.total_energy_gj <= mcb.total_energy_gj <= user.total_energy_gj
+        saved_oracle = user.total_energy_gj - oracle.total_energy_gj
+        saved_mcb = user.total_energy_gj - mcb.total_energy_gj
+        assert saved_oracle > 0
+        assert saved_mcb > 0.6 * saved_oracle
+
+    def test_all_jobs_complete(self, staged):
+        sl, y = staged
+        nodes = int(sl["nodes_alloc"].max() * 2)
+        m = simulate_dispatch(sl, y, n_nodes=nodes, coschedule=True,
+                              frequency_source="oracle")
+        assert m.n_jobs == len(sl)

@@ -1,0 +1,159 @@
+"""Tests for drift detection and adaptive retraining."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.drift import (
+    AdaptiveRetrainingPolicy,
+    EmbeddingDriftDetector,
+    population_stability_index,
+)
+
+
+class TestPSI:
+    def test_identical_distributions_zero(self):
+        h = np.array([10, 20, 30, 40])
+        assert population_stability_index(h, h) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_invariant(self):
+        a = np.array([10, 20, 30])
+        assert population_stability_index(a, a * 7) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_distribution_positive(self):
+        a = np.array([50, 30, 15, 5])
+        b = np.array([5, 15, 30, 50])
+        assert population_stability_index(a, b) > 0.25
+
+    def test_symmetric(self):
+        a = np.array([40, 30, 20, 10])
+        b = np.array([10, 20, 30, 40])
+        assert population_stability_index(a, b) == pytest.approx(
+            population_stability_index(b, a)
+        )
+
+    def test_zero_bins_handled(self):
+        a = np.array([100, 0, 0])
+        b = np.array([0, 0, 100])
+        psi = population_stability_index(a, b)
+        assert np.isfinite(psi) and psi > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            population_stability_index([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            population_stability_index([0, 0], [1, 1])
+
+
+class TestEmbeddingDriftDetector:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(500, 32))
+
+    def test_same_distribution_low_score(self, reference):
+        det = EmbeddingDriftDetector(reference)
+        rng = np.random.default_rng(1)
+        batch = rng.normal(size=(300, 32))
+        assert det.score(batch) < 0.1
+
+    def test_shifted_distribution_high_score(self, reference):
+        det = EmbeddingDriftDetector(reference)
+        rng = np.random.default_rng(2)
+        batch = rng.normal(loc=2.0, size=(300, 32))
+        assert det.score(batch) > 0.25
+
+    def test_reference_scores_itself_near_zero(self, reference):
+        det = EmbeddingDriftDetector(reference)
+        assert det.score(reference) < 0.02
+
+    def test_empty_batch_zero(self, reference):
+        det = EmbeddingDriftDetector(reference)
+        assert det.score(np.empty((0, 32))) == 0.0
+
+    def test_dim_mismatch(self, reference):
+        det = EmbeddingDriftDetector(reference)
+        with pytest.raises(ValueError):
+            det.score(np.zeros((5, 7)))
+
+    def test_tiny_reference_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingDriftDetector(np.zeros((3, 4)), n_bins=10)
+
+    def test_deterministic_directions(self, reference):
+        rng = np.random.default_rng(3)
+        batch = rng.normal(size=(100, 32))
+        a = EmbeddingDriftDetector(reference).score(batch)
+        b = EmbeddingDriftDetector(reference).score(batch)
+        assert a == b
+
+
+class TestPolicy:
+    def test_deadline_forces_retrain(self):
+        p = AdaptiveRetrainingPolicy(max_days_between=5)
+        assert p.should_retrain(0.0, 5.0, 100)
+        assert not p.should_retrain(0.0, 4.0, 100)
+
+    def test_drift_triggers(self):
+        p = AdaptiveRetrainingPolicy(psi_threshold=0.15, max_days_between=99)
+        assert p.should_retrain(0.2, 1.0, 100)
+        assert not p.should_retrain(0.1, 1.0, 100)
+
+    def test_small_batches_never_trigger_on_drift(self):
+        p = AdaptiveRetrainingPolicy(psi_threshold=0.15, min_batch=50)
+        assert not p.should_retrain(5.0, 1.0, 10)
+
+    def test_none_score_does_not_trigger(self):
+        p = AdaptiveRetrainingPolicy()
+        assert not p.should_retrain(None, 1.0, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRetrainingPolicy(psi_threshold=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveRetrainingPolicy(max_days_between=0.5)
+
+
+class TestAdaptiveLoop:
+    @pytest.fixture(scope="class")
+    def evaluator(self, small_trace):
+        from repro.evaluation.online import OnlineEvaluator
+
+        return OnlineEvaluator(small_trace, test_start_day=40, test_end_day=50)
+
+    def test_returns_result_and_scores(self, evaluator):
+        result, scores = evaluator.evaluate_adaptive(
+            "KNN", {"n_neighbors": 3}, alpha=20,
+            policy=AdaptiveRetrainingPolicy(max_days_between=5),
+        )
+        assert result.sampling == "adaptive"
+        assert np.isnan(result.beta)
+        assert len(scores) == 10
+        assert 0 <= result.f1 <= 1
+
+    def test_retrains_bounded_by_deadline(self, evaluator):
+        result, _ = evaluator.evaluate_adaptive(
+            "KNN", {"n_neighbors": 3}, alpha=20,
+            policy=AdaptiveRetrainingPolicy(psi_threshold=99.0, max_days_between=5),
+        )
+        # only the deadline fires: first day + every 5 days
+        assert result.n_retrainings == 2
+
+    def test_sensitive_policy_retrains_more(self, evaluator):
+        lazy, _ = evaluator.evaluate_adaptive(
+            "KNN", {"n_neighbors": 3}, alpha=20,
+            policy=AdaptiveRetrainingPolicy(psi_threshold=99.0, max_days_between=9),
+        )
+        eager, _ = evaluator.evaluate_adaptive(
+            "KNN", {"n_neighbors": 3}, alpha=20,
+            policy=AdaptiveRetrainingPolicy(psi_threshold=0.01, max_days_between=9),
+        )
+        assert eager.n_retrainings >= lazy.n_retrainings
+
+    def test_quality_close_to_daily_retraining(self, evaluator):
+        adaptive, _ = evaluator.evaluate_adaptive(
+            "KNN", {"n_neighbors": 3}, alpha=20,
+            policy=AdaptiveRetrainingPolicy(psi_threshold=0.15, max_days_between=7),
+        )
+        daily = evaluator.evaluate("KNN", {"n_neighbors": 3}, alpha=20, beta=1)
+        assert adaptive.f1 > daily.f1 - 0.05
+        assert adaptive.n_retrainings <= daily.n_retrainings

@@ -1,0 +1,102 @@
+"""Tests for tables, ASCII plots and CSV dumps."""
+
+import pytest
+
+from repro.evaluation.reporting import ascii_series, format_table, results_to_csv
+from repro.evaluation.timing import Timer, time_call
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(
+            ["alpha", "F1"], [[15, 0.9012], [30, 0.8899]], title="Fig 6"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 6"
+        assert "alpha" in lines[1]
+        assert "0.9012" in text
+        assert len(lines) == 5
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestAsciiSeries:
+    def test_contains_points_and_range(self):
+        out = ascii_series([1, 2, 3], [0.1, 0.5, 0.9], label="F1")
+        assert out.count("*") == 3
+        assert "[0.1, 0.9]" in out
+
+    def test_flat_series(self):
+        out = ascii_series([1, 2], [0.5, 0.5])
+        assert "*" in out
+
+    def test_explicit_range(self):
+        out = ascii_series([1, 2], [0.2, 0.4], y_range=(0.0, 1.0))
+        assert "[0, 1]" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        p = results_to_csv(tmp_path / "out.csv", ["a", "b"], [[1, "x"], [2.5, "y,z"]])
+        lines = p.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert lines[2] == '2.5,"y,z"'
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = results_to_csv(tmp_path / "deep" / "out.csv", ["a"], [[1]])
+        assert p.exists()
+
+
+class TestTiming:
+    def test_timer_context(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0
+
+    def test_time_call(self):
+        out, dt = time_call(lambda a, b: a + b, 2, b=3)
+        assert out == 5
+        assert dt >= 0
+
+
+class TestAsciiHeatmap:
+    def test_renders_mass(self):
+        import numpy as np
+
+        from repro.evaluation.reporting import ascii_heatmap
+
+        counts = np.zeros((30, 20))
+        counts[5, 5] = 100
+        out = ascii_heatmap(counts, label="demo")
+        assert out.startswith("demo")
+        assert "@" in out  # the hotspot
+        assert out.count("\n") == 17  # label + 16 rows + axis line
+
+    def test_empty_rejected(self):
+        import numpy as np
+        import pytest
+
+        from repro.evaluation.reporting import ascii_heatmap
+
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((0, 3)))
+
+    def test_total_shading_monotone(self):
+        import numpy as np
+
+        from repro.evaluation.reporting import ascii_heatmap
+
+        light = ascii_heatmap(np.ones((10, 10)))
+        heavy = ascii_heatmap(np.ones((10, 10)) * 1000)
+        assert light != "" and heavy != ""

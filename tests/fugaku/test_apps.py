@@ -1,0 +1,81 @@
+"""Tests for the application archetype catalog."""
+
+import numpy as np
+import pytest
+
+from repro.fugaku.apps import APP_CATALOG, AppArchetype, build_catalog, catalog_weights
+
+
+class TestCatalog:
+    def test_build_is_deterministic(self):
+        assert [a.name for a in build_catalog()] == [a.name for a in APP_CATALOG]
+
+    def test_unique_names(self):
+        names = [a.name for a in APP_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_weights_normalize(self):
+        w = catalog_weights()
+        assert np.isclose(w.sum(), 1.0)
+        assert w.min() > 0
+
+    def test_covers_both_sides_of_ridge(self):
+        ridge_log = np.log10(3380.0 / 1024.0)
+        mus = np.array([a.op_mu for a in APP_CATALOG])
+        assert (mus < ridge_log - 0.5).any()
+        assert (mus > ridge_log + 0.5).any()
+
+    def test_ambiguous_archetypes_near_ridge(self):
+        # the irreducible-noise suppliers straddle the ridge (±1 sigma)
+        ridge_log = np.log10(3380.0 / 1024.0)
+        near = [a for a in APP_CATALOG if abs(a.op_mu - ridge_log) < a.op_sigma]
+        assert len(near) >= 1
+
+    def test_memory_side_has_most_weight(self):
+        ridge_log = np.log10(3380.0 / 1024.0)
+        w = catalog_weights()
+        mem_w = sum(wi for a, wi in zip(APP_CATALOG, w) if a.op_mu <= ridge_log)
+        assert mem_w > 0.6
+
+    def test_node_probs_valid(self):
+        for a in APP_CATALOG:
+            assert np.isclose(sum(a.node_probs), 1.0)
+            assert all(n >= 1 for n in a.node_choices)
+
+    def test_environments_and_tokens_nonempty(self):
+        for a in APP_CATALOG:
+            assert a.environments
+            assert a.name_tokens
+
+
+class TestArchetypeValidation:
+    def _kwargs(self, **over):
+        base = dict(
+            name="x", domain="d", weight=1.0, op_mu=0.0, op_sigma=0.1,
+            job_sigma=0.1, drift_sigma=0.001, eff_alpha=1.0, eff_beta=1.0,
+            node_choices=(1, 2), node_probs=(0.5, 0.5), duration_mu=7.0,
+            duration_sigma=1.0, power_base_w=100.0,
+            environments=("e",), name_tokens=("t",),
+        )
+        base.update(over)
+        return base
+
+    def test_valid(self):
+        AppArchetype(**self._kwargs())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AppArchetype(**self._kwargs(weight=-0.1))
+
+    def test_prob_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AppArchetype(**self._kwargs(node_probs=(1.0,)))
+
+    def test_prob_sum_rejected(self):
+        with pytest.raises(ValueError):
+            AppArchetype(**self._kwargs(node_probs=(0.5, 0.6)))
+
+    def test_empty_catalog_weights_rejected(self):
+        zero = AppArchetype(**self._kwargs(weight=0.0))
+        with pytest.raises(ValueError):
+            catalog_weights((zero,))

@@ -1,0 +1,119 @@
+"""Tests for the A64FX PMU counter mapping (Equations 4 and 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fugaku.counters import (
+    CounterSet,
+    counters_from_flops_bytes,
+    flops_from_counters,
+    moved_bytes_from_counters,
+)
+from repro.fugaku.system import FUGAKU
+
+
+class TestEquation4:
+    def test_fixed_ops_only(self):
+        assert flops_from_counters(100.0, 0.0) == 100.0
+
+    def test_sve_ops_scaled_by_four(self):
+        # perf3 counts per 128-bit slice; A64FX is 512-bit SVE
+        assert flops_from_counters(0.0, 25.0) == 100.0
+
+    def test_combined(self):
+        assert flops_from_counters(10.0, 5.0) == 10.0 + 20.0
+
+    def test_vectorized(self):
+        out = flops_from_counters(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        assert np.allclose(out, [5.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flops_from_counters(-1.0, 0.0)
+
+
+class TestEquation5:
+    def test_single_read_request_moves_one_line_per_cmg_share(self):
+        # (1 + 0) * 256 / 12
+        assert moved_bytes_from_counters(1.0, 0.0) == pytest.approx(256.0 / 12.0)
+
+    def test_reads_and_writes_summed(self):
+        assert moved_bytes_from_counters(6.0, 6.0) == pytest.approx(12 * 256.0 / 12.0)
+
+    def test_vectorized(self):
+        out = moved_bytes_from_counters(np.array([12.0]), np.array([0.0]))
+        assert np.allclose(out, [256.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            moved_bytes_from_counters(0.0, -2.0)
+
+
+class TestInverse:
+    def test_scalar_roundtrip(self):
+        p2, p3, p4, p5 = counters_from_flops_bytes(1e12, 5e11)
+        assert flops_from_counters(p2, p3) == pytest.approx(1e12, rel=1e-12)
+        assert moved_bytes_from_counters(p4, p5) == pytest.approx(5e11, rel=1e-12)
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            counters_from_flops_bytes(1.0, 1.0, sve_fraction=1.5)
+        with pytest.raises(ValueError):
+            counters_from_flops_bytes(1.0, 1.0, read_fraction=-0.1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            counters_from_flops_bytes(-1.0, 1.0)
+
+    def test_sve_fraction_splits_ops(self):
+        p2, p3, _, _ = counters_from_flops_bytes(100.0, 1.0, sve_fraction=0.0)
+        assert p2 == 100.0 and p3 == 0.0
+        p2, p3, _, _ = counters_from_flops_bytes(100.0, 1.0, sve_fraction=1.0)
+        assert p2 == 0.0 and p3 == 25.0
+
+    @given(
+        flops=st.floats(min_value=0.0, max_value=1e18),
+        moved=st.floats(min_value=0.0, max_value=1e18),
+        sve=st.floats(min_value=0.0, max_value=1.0),
+        read=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, flops, moved, sve, read):
+        p2, p3, p4, p5 = counters_from_flops_bytes(
+            flops, moved, sve_fraction=sve, read_fraction=read
+        )
+        assert flops_from_counters(p2, p3) == pytest.approx(flops, rel=1e-9, abs=1e-9)
+        assert moved_bytes_from_counters(p4, p5) == pytest.approx(moved, rel=1e-9, abs=1e-9)
+
+    def test_vectorized_roundtrip(self, rng):
+        flops = rng.uniform(0, 1e15, size=100)
+        moved = rng.uniform(0, 1e15, size=100)
+        p2, p3, p4, p5 = counters_from_flops_bytes(flops, moved)
+        assert np.allclose(flops_from_counters(p2, p3), flops)
+        assert np.allclose(moved_bytes_from_counters(p4, p5), moved)
+
+
+class TestCounterSet:
+    def test_valid(self):
+        cs = CounterSet(1.0, 2.0, 3.0, 4.0)
+        assert cs.perf2 == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet(-1.0, 0.0, 0.0, 0.0)
+
+
+class TestSpecDependence:
+    def test_different_cache_line(self):
+        from repro.fugaku.system import FugakuSpec
+
+        spec = FugakuSpec(cache_line_bytes=64)
+        assert moved_bytes_from_counters(12.0, 0.0, spec=spec) == pytest.approx(64.0)
+
+    def test_different_sve_width(self):
+        from repro.fugaku.system import FugakuSpec
+
+        spec = FugakuSpec(sve_bits=256)  # x2 multiplier
+        assert flops_from_counters(0.0, 10.0, spec=spec) == 20.0

@@ -1,0 +1,67 @@
+"""Tests for the Fugaku machine model (Table I)."""
+
+import pytest
+
+from repro.fugaku.system import BOOST_MODE_GHZ, FUGAKU, FugakuSpec, NORMAL_MODE_GHZ
+
+
+class TestTable1Constants:
+    def test_node_count(self):
+        assert FUGAKU.num_nodes == 158_976
+
+    def test_cores(self):
+        assert FUGAKU.cores_per_node == 48
+        assert FUGAKU.assistant_cores_per_node == 4
+
+    def test_peaks(self):
+        assert FUGAKU.peak_gflops_node == 3380.0
+        assert FUGAKU.peak_membw_gbs == 1024.0
+
+    def test_memory(self):
+        assert FUGAKU.memory_gib_per_node == 32
+
+    def test_frequencies(self):
+        assert NORMAL_MODE_GHZ in FUGAKU.frequencies_ghz
+        assert BOOST_MODE_GHZ in FUGAKU.frequencies_ghz
+
+
+class TestDerivedQuantities:
+    def test_ridge_point_matches_paper(self):
+        # paper §IV-B: op_r ≈ 3.3 Flops/Byte
+        assert FUGAKU.ridge_point == pytest.approx(3.30, abs=0.01)
+
+    def test_sve_multiplier_is_four(self):
+        # 512-bit SVE / 128-bit slices (the x4 of Equation 4)
+        assert FUGAKU.sve_multiplier == 4
+
+    def test_cmg_count(self):
+        assert FUGAKU.num_cmgs_per_node == 4
+
+    def test_attainable_below_ridge_is_bandwidth_bound(self):
+        op = 1.0
+        assert FUGAKU.attainable_gflops(op) == pytest.approx(FUGAKU.peak_membw_gbs * op)
+
+    def test_attainable_above_ridge_is_peak(self):
+        assert FUGAKU.attainable_gflops(100.0) == FUGAKU.peak_gflops_node
+
+    def test_attainable_at_ridge_touches_both_ceilings(self):
+        at = FUGAKU.attainable_gflops(FUGAKU.ridge_point)
+        assert at == pytest.approx(FUGAKU.peak_gflops_node)
+
+    def test_attainable_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FUGAKU.attainable_gflops(-1.0)
+
+    def test_is_boost(self):
+        assert FUGAKU.is_boost(2.2)
+        assert not FUGAKU.is_boost(2.0)
+
+
+class TestCustomSpec:
+    def test_other_system_ridge(self):
+        spec = FugakuSpec(name="toy", peak_gflops_node=1000.0, peak_membw_gbs=100.0)
+        assert spec.ridge_point == pytest.approx(10.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FUGAKU.num_nodes = 1

@@ -1,0 +1,124 @@
+"""Tests for the JobTrace column store."""
+
+import numpy as np
+import pytest
+
+from repro.fugaku.trace import JobRecord, JobTrace, NUMERIC_COLUMNS, STRING_COLUMNS
+
+
+def make_columns(n=5):
+    cols = {}
+    for i, name in enumerate(NUMERIC_COLUMNS):
+        if NUMERIC_COLUMNS[name].kind == "i":
+            cols[name] = np.arange(1, n + 1, dtype=np.int64) + i
+        else:
+            cols[name] = np.linspace(1.0, 2.0, n) + i
+    for name in STRING_COLUMNS:
+        cols[name] = np.array([f"{name}_{j}" for j in range(n)], dtype=object)
+    cols["submit_time"] = np.arange(n, dtype=np.float64) * 100.0
+    return cols
+
+
+class TestConstruction:
+    def test_roundtrip_columns(self):
+        t = JobTrace(make_columns())
+        assert len(t) == 5
+        assert "job_id" in t
+        assert t["user_name"][0] == "user_name_0"
+
+    def test_missing_column_rejected(self):
+        cols = make_columns()
+        del cols["perf2"]
+        with pytest.raises(KeyError):
+            JobTrace(cols)
+
+    def test_length_mismatch_rejected(self):
+        cols = make_columns()
+        cols["perf2"] = cols["perf2"][:-1]
+        with pytest.raises(ValueError):
+            JobTrace(cols)
+
+    def test_diagnostic_columns_optional(self):
+        cols = make_columns()
+        cols["template_id"] = np.zeros(5, dtype=np.int64)
+        t = JobTrace(cols)
+        assert "template_id" in t
+
+    def test_non_1d_rejected(self):
+        cols = make_columns()
+        cols["perf2"] = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            JobTrace(cols)
+
+
+class TestRowAccess:
+    def test_row_materializes_record(self):
+        t = JobTrace(make_columns())
+        r = t.row(0)
+        assert isinstance(r, JobRecord)
+        assert r.user_name == "user_name_0"
+        assert isinstance(r.job_id, int)
+        assert isinstance(r.duration, float)
+
+    def test_row_out_of_range(self):
+        t = JobTrace(make_columns())
+        with pytest.raises(IndexError):
+            t.row(10)
+
+    def test_negative_index(self):
+        t = JobTrace(make_columns())
+        assert t.row(-1).user_name == "user_name_4"
+
+    def test_iter_rows_count(self):
+        t = JobTrace(make_columns())
+        assert sum(1 for _ in t.iter_rows()) == 5
+
+    def test_as_dict(self):
+        t = JobTrace(make_columns())
+        d = t.row(0).as_dict()
+        assert set(d) == set(NUMERIC_COLUMNS) | set(STRING_COLUMNS)
+
+
+class TestSlicing:
+    def test_between_uses_submit_time(self):
+        t = JobTrace(make_columns())
+        sub = t.between(100.0, 300.0)
+        assert len(sub) == 2
+        assert np.all(sub["submit_time"] >= 100.0)
+        assert np.all(sub["submit_time"] < 300.0)
+
+    def test_select_mask(self):
+        t = JobTrace(make_columns())
+        sub = t.select(t["submit_time"] > 150.0)
+        assert len(sub) == 3
+
+    def test_sort_by_submit(self):
+        cols = make_columns()
+        cols["submit_time"] = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        t = JobTrace(cols).sort_by_submit()
+        assert np.all(np.diff(t["submit_time"]) >= 0)
+
+    def test_concat(self):
+        t = JobTrace(make_columns())
+        both = JobTrace.concat([t, t])
+        assert len(both) == 10
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            JobTrace.concat([])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = JobTrace(make_columns())
+        t.save(tmp_path / "trace")
+        t2 = JobTrace.load(tmp_path / "trace")
+        assert len(t2) == len(t)
+        assert np.allclose(t2["perf2"], t["perf2"])
+        assert list(t2["user_name"]) == list(t["user_name"])
+
+    def test_generated_trace_roundtrip(self, tiny_trace, tmp_path):
+        tiny_trace.save(tmp_path / "g")
+        back = JobTrace.load(tmp_path / "g")
+        assert len(back) == len(tiny_trace)
+        assert np.allclose(back["submit_time"], tiny_trace["submit_time"])

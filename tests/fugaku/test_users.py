@@ -1,0 +1,59 @@
+"""Tests for the user population model."""
+
+import numpy as np
+import pytest
+
+from repro.fugaku.users import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return UserPopulation(50, np.random.default_rng(3))
+
+
+class TestPopulation:
+    def test_size(self, pop):
+        assert len(pop) == 50
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(0, np.random.default_rng(0))
+
+    def test_names_look_like_accounts(self, pop):
+        for u in pop.users:
+            group, rest = u.user_name.split("-", 1)
+            assert group in ("riken", "univ", "jcahpc", "corp", "intl")
+            assert rest[2:].isdigit()
+
+    def test_affinity_is_distribution(self, pop):
+        for u in pop.users:
+            assert u.app_affinity.min() >= 0
+            assert np.isclose(u.app_affinity.sum(), 1.0)
+
+    def test_activity_weights_normalized(self, pop):
+        w = pop.activity_weights()
+        assert np.isclose(w.sum(), 1.0)
+        assert w.min() > 0
+
+    def test_activity_is_skewed(self, pop):
+        # Zipf-like: the top decile of users carries well above 10% of traffic
+        w = np.sort(pop.activity_weights())[::-1]
+        assert w[:5].sum() > 0.15
+
+    def test_boost_probs_in_range(self, pop):
+        for u in pop.users:
+            assert 0.0 < u.boost_prob_memory < 1.0
+            assert 0.0 < u.boost_prob_compute < 1.0
+
+    def test_sample_user_respects_rng(self, pop):
+        a = pop.sample_user(np.random.default_rng(1)).user_name
+        b = pop.sample_user(np.random.default_rng(1)).user_name
+        assert a == b
+
+    def test_boost_habits_differ_by_typical_class(self):
+        # population means calibrated to Table II: memory-bound templates
+        # request boost more often than compute-bound ones
+        pop = UserPopulation(400, np.random.default_rng(11))
+        bm = np.mean([u.boost_prob_memory for u in pop.users])
+        bc = np.mean([u.boost_prob_compute for u in pop.users])
+        assert bm > bc

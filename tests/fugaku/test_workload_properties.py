@@ -1,0 +1,63 @@
+"""Property-based invariants of the workload generator.
+
+Each example generates a (tiny) trace with a random seed and checks the
+structural invariants every consumer of :class:`JobTrace` relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JobCharacterizer
+from repro.fugaku.workload import APR_1, DAY_SECONDS, WorkloadConfig, WorkloadGenerator
+
+
+def _trace(seed, scale=1 / 2000):
+    return WorkloadGenerator(WorkloadConfig(scale=scale, seed=seed)).generate()
+
+
+class TestGeneratorInvariants:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_structural_invariants(self, seed):
+        trace = _trace(seed)
+        n = len(trace)
+        assert n == WorkloadConfig(scale=1 / 2000).n_jobs
+
+        sub = trace["submit_time"]
+        assert np.all(np.diff(sub) >= 0)
+        assert sub.min() >= 0 and sub.max() < APR_1 * DAY_SECONDS
+
+        assert np.array_equal(trace["job_id"], np.arange(1, n + 1))
+        assert np.all(trace["start_time"] >= sub)
+        assert np.all(trace["duration"] > 0)
+        assert np.all(trace["nodes_alloc"] >= 1)
+        assert np.all(trace["cores_req"] >= 1)
+        for c in ("perf2", "perf3", "perf4", "perf5", "power_avg_w"):
+            assert np.all(trace[c] >= 0)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_characterizable_and_two_sided(self, seed):
+        trace = _trace(seed)
+        labels = JobCharacterizer().labels_from_trace(trace)
+        assert set(np.unique(labels)) <= {0, 1}
+        # both classes occur (the catalog straddles the ridge)
+        assert len(np.unique(labels)) == 2
+        # memory-bound is the majority side
+        assert (labels == 0).mean() > 0.5
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_counters_encode_plausible_intensity(self, seed):
+        """Synthesized counters land jobs in a physical roofline region."""
+        trace = _trace(seed)
+        ch = JobCharacterizer()
+        p, mb, op, _ = ch.roofline_coordinates(trace)
+        assert np.all(p >= 0)
+        assert np.all(mb > 0)
+        # per-node performance cannot exceed the boost-mode peak by more
+        # than the generator's efficiency jitter allows
+        assert p.max() <= 3380.0 * 1.6
+        # operational intensity spans both sides of the ridge
+        assert op.min() < 3.3 < op.max()

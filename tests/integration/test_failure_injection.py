@@ -1,0 +1,126 @@
+"""Failure-injection tests: the system degrades loudly, not silently."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MCBound,
+    MCBoundConfig,
+    ModelStore,
+    build_app,
+    load_trace_into_db,
+)
+from repro.core.classification_model import ClassificationModel
+from repro.fugaku.workload import DAY_SECONDS
+from repro.storage.engine import Database
+from repro.web import TestClient
+
+
+def make_fw(trace, tmp_path=None, **over):
+    cfg = MCBoundConfig(
+        algorithm="KNN",
+        model_params={"n_neighbors": 3, "algorithm": "brute"},
+        alpha_days=over.pop("alpha_days", 20.0),
+    )
+    root = tmp_path / "m" if tmp_path else None
+    return MCBound(cfg, load_trace_into_db(trace), model_store_root=root)
+
+
+class TestHTTPBoundary:
+    def test_handler_crash_is_500_not_connection_drop(self, tiny_trace, monkeypatch):
+        fw = make_fw(tiny_trace)
+        client = TestClient(build_app(fw))
+
+        def boom(*a, **k):
+            raise RuntimeError("backend exploded")
+
+        monkeypatch.setattr(fw, "characterize_window", boom)
+        r = client.post(
+            "/characterize", json_body={"start_time": 0.0, "end_time": 1.0}
+        )
+        assert r.status == 500
+        assert "backend exploded" in r.json()["error"]
+
+    def test_malformed_json_is_400(self, tiny_trace):
+        fw = make_fw(tiny_trace)
+        client = TestClient(build_app(fw))
+        r = client.post("/train", body=b"\x00\xff not json")
+        assert r.status == 400
+
+    def test_single_class_window_is_409(self, tiny_trace, monkeypatch):
+        fw = make_fw(tiny_trace)
+        # force every label to memory-bound for this window
+        monkeypatch.setattr(
+            fw, "_characterize_records",
+            lambda records: (
+                np.arange(len(records)), np.zeros(len(records), dtype=np.int64)
+            ),
+        )
+        client = TestClient(build_app(fw))
+        r = client.post("/train", json_body={"now": 40 * DAY_SECONDS})
+        assert r.status == 409
+        assert "single class" in r.json()["error"]
+
+
+class TestStorageFailures:
+    def test_missing_jobs_table_surfaces(self, tiny_trace):
+        cfg = MCBoundConfig(algorithm="KNN", model_params={"n_neighbors": 3})
+        fw = MCBound(cfg, Database())  # empty database, no jobs table
+        with pytest.raises(KeyError, match="jobs"):
+            fw.characterize_window(0.0, 1.0)
+
+    def test_http_missing_table_is_500(self, tiny_trace):
+        cfg = MCBoundConfig(algorithm="KNN", model_params={"n_neighbors": 3})
+        fw = MCBound(cfg, Database())
+        client = TestClient(build_app(fw))
+        r = client.post("/characterize", json_body={"start_time": 0, "end_time": 1})
+        assert r.status == 500
+
+
+class TestModelStoreCorruption:
+    def _published_store(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 4)).astype(np.float32)
+        y = (X[:, 0] > 0).astype(int)
+        model = ClassificationModel("KNN", n_neighbors=3).training(X, y)
+        store = ModelStore(tmp_path / "store")
+        version = store.publish(model)
+        return store, version
+
+    def test_tampered_manifest_class_rejected(self, tmp_path):
+        store, version = self._published_store(tmp_path)
+        vdir = store.registry.root / f"v{version:08d}"
+        manifest = json.loads((vdir / "manifest.json").read_text())
+        manifest["model_class"] = "os.system"  # pickle-style gadget attempt
+        (vdir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(TypeError, match="unknown model class"):
+            store.load(version)
+
+    def test_deleted_arrays_fail_loudly(self, tmp_path):
+        store, version = self._published_store(tmp_path)
+        vdir = store.registry.root / f"v{version:08d}"
+        (vdir / "arrays.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            store.load(version)
+
+    def test_framework_survives_empty_store_dir(self, tiny_trace, tmp_path):
+        fw = make_fw(tiny_trace, tmp_path)
+        # store exists but is empty: predict must raise NotFitted, not crash
+        from repro.mlcore.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            fw.predict_job(1)
+
+
+class TestEvaluationEdges:
+    def test_no_training_possible_skips_days(self, small_trace):
+        """With alpha so small some windows are empty, the loop still runs."""
+        from repro.evaluation.online import OnlineEvaluator
+
+        ev = OnlineEvaluator(small_trace, test_start_day=66, test_end_day=69)
+        # days 66-68 are the maintenance window: almost no jobs submitted,
+        # but training windows reach back before the shutdown
+        r = ev.evaluate("KNN", {"n_neighbors": 3}, alpha=10, beta=1)
+        assert r.n_test_jobs >= 0

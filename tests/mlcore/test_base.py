@@ -1,0 +1,96 @@
+"""Tests for estimator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.base import (
+    NotFittedError,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+    encode_labels,
+)
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(5).integers(0, 100, 10)
+        b = check_random_state(5).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestCheckArray:
+    def test_accepts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((0, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_array([[np.nan]])
+        with pytest.raises(ValueError):
+            check_array([[np.inf]])
+
+
+class TestCheckXy:
+    def test_pairs(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [0])
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0]], [[0]])
+
+
+class TestFittedCheck:
+    def test_raises_on_missing_attribute(self):
+        class M:
+            classes_ = None
+
+        with pytest.raises(NotFittedError):
+            check_is_fitted(M(), "classes_")
+
+    def test_passes_when_set(self):
+        class M:
+            classes_ = np.array([0, 1])
+
+        check_is_fitted(M(), "classes_")
+
+
+class TestEncodeLabels:
+    def test_contiguous_codes(self):
+        classes, enc = encode_labels(np.array([5, 7, 5, 9]))
+        assert classes.tolist() == [5, 7, 9]
+        assert enc.tolist() == [0, 1, 0, 2]
+        assert np.array_equal(classes[enc], [5, 7, 5, 9])
+
+    def test_strings(self):
+        classes, enc = encode_labels(np.array(["m", "c", "m"]))
+        assert set(classes) == {"c", "m"}
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            encode_labels(np.array([1, 1, 1]))

@@ -1,0 +1,64 @@
+"""Tests for the (job name, #cores) lookup baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.base import NotFittedError
+from repro.mlcore.baseline import LookupTableBaseline
+
+
+class TestLookup:
+    def test_exact_key_recall(self):
+        keys = [("run.sh", 48), ("x.sh", 96)]
+        model = LookupTableBaseline().fit(keys, [0, 1])
+        assert model.predict(keys).tolist() == [0, 1]
+
+    def test_majority_per_key(self):
+        keys = [("a", 1)] * 3 + [("a", 1)] * 1
+        y = [0, 0, 0, 1]
+        model = LookupTableBaseline().fit(keys, y)
+        assert model.predict([("a", 1)])[0] == 0
+
+    def test_tie_breaks_to_smaller_label(self):
+        model = LookupTableBaseline().fit([("a", 1), ("a", 1)], [1, 0])
+        assert model.predict([("a", 1)])[0] == 0
+
+    def test_unseen_key_falls_back_to_global_majority(self):
+        keys = [("a", 1), ("b", 2), ("c", 3)]
+        model = LookupTableBaseline().fit(keys, [1, 1, 0])
+        assert model.predict([("zzz", 9)])[0] == 1
+
+    def test_int_str_key_equivalence(self):
+        # cores may arrive as int or str depending on the source
+        model = LookupTableBaseline().fit([("a", 48)], [1, ][:1])
+        assert model.predict([("a", "48")])[0] == 1
+
+    def test_n_keys(self):
+        model = LookupTableBaseline().fit([("a", 1), ("a", 1), ("b", 2)], [0, 0, 1])
+        assert model.n_keys == 2
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LookupTableBaseline().predict([("a", 1)])
+        with pytest.raises(NotFittedError):
+            LookupTableBaseline().n_keys
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LookupTableBaseline().fit([("a", 1)], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTableBaseline().fit([], [])
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.mlcore.persistence import load_model, save_model
+
+        keys = [("run.sh", 48), ("job.sh", 96), ("x", 1)]
+        model = LookupTableBaseline().fit(keys, [0, 1, 0])
+        save_model(model, tmp_path / "b")
+        model2 = load_model(tmp_path / "b")
+        assert np.array_equal(model2.predict(keys), model.predict(keys))
+        assert model2.predict([("unseen", 5)])[0] == 0

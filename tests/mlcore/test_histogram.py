@@ -1,0 +1,72 @@
+"""Tests for the feature quantizer behind the hist splitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.histogram import FeatureQuantizer
+
+
+class TestFit:
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 4))
+        q = FeatureQuantizer(32)
+        codes = q.fit_transform(X)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 32
+
+    def test_monotone_codes(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        q = FeatureQuantizer(16)
+        codes = q.fit_transform(X)
+        assert np.all(np.diff(codes[:, 0].astype(int)) >= 0)
+
+    def test_few_distinct_values_few_bins(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0], [2.0]])
+        q = FeatureQuantizer(64).fit(X)
+        assert q.n_effective_bins(0) <= 3
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            FeatureQuantizer(1)
+        with pytest.raises(ValueError):
+            FeatureQuantizer(257)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureQuantizer().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            FeatureQuantizer().threshold_of_bin(0, 0)
+
+    def test_wrong_width_rejected(self):
+        q = FeatureQuantizer(8).fit(np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            q.transform(np.zeros((2, 5)))
+
+
+class TestThresholdSemantics:
+    """code <= b must be exactly equivalent to raw x < threshold_of_bin(b)."""
+
+    @given(seed=st.integers(0, 500), n_bins=st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_split_equivalence(self, seed, n_bins):
+        rng = np.random.default_rng(seed)
+        X = np.round(rng.normal(size=(80, 1)), 2)  # ties likely
+        q = FeatureQuantizer(n_bins)
+        codes = q.fit_transform(X)
+        for b in range(q.n_effective_bins(0) - 1):
+            t = q.threshold_of_bin(0, b)
+            assert np.array_equal(codes[:, 0] <= b, X[:, 0] < t)
+
+    def test_unseen_values_clipped(self):
+        q = FeatureQuantizer(8).fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        codes = q.transform(np.array([[-10.0], [10.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == q.n_effective_bins(0) - 1
+
+    def test_threshold_out_of_range(self):
+        q = FeatureQuantizer(8).fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        with pytest.raises(IndexError):
+            q.threshold_of_bin(0, 100)

@@ -1,0 +1,106 @@
+"""Tests for the from-scratch KD-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.kdtree import KDTree
+
+
+def brute_knn(data, q, k, p=2.0):
+    d = (np.abs(q[None, :] - data) ** p).sum(axis=1) ** (1 / p)
+    idx = np.argsort(d, kind="stable")[:k]
+    return d[idx], idx
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree(np.empty((0, 3)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+
+    def test_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_identical_points_single_leaf(self):
+        t = KDTree(np.ones((100, 3)), leaf_size=4)
+        d, i = t.query(np.ones((1, 3)), k=5)
+        assert np.allclose(d, 0.0)
+
+    def test_node_count_reasonable(self):
+        rng = np.random.default_rng(0)
+        t = KDTree(rng.normal(size=(256, 2)), leaf_size=8)
+        assert t.n_nodes >= 256 // 8
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return np.random.default_rng(1).normal(size=(300, 3))
+
+    def test_k1_self_query(self, data):
+        t = KDTree(data, leaf_size=16)
+        d, i = t.query(data[:20], k=1)
+        assert np.allclose(d[:, 0], 0.0)
+        assert np.array_equal(i[:, 0], np.arange(20))
+
+    @pytest.mark.parametrize("k", [1, 3, 17])
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0])
+    def test_matches_brute_force(self, data, k, p):
+        t = KDTree(data, leaf_size=8)
+        qs = np.random.default_rng(2).normal(size=(25, 3))
+        d, i = t.query(qs, k=k, p=p)
+        for row, q in enumerate(qs):
+            bd, _ = brute_knn(data, q, k, p)
+            assert np.allclose(d[row], bd, atol=1e-10)
+
+    def test_sorted_output(self, data):
+        t = KDTree(data)
+        d, _ = t.query(np.zeros((1, 3)), k=10)
+        assert np.all(np.diff(d[0]) >= -1e-12)
+
+    def test_invalid_k(self, data):
+        t = KDTree(data)
+        with pytest.raises(ValueError):
+            t.query(np.zeros((1, 3)), k=0)
+        with pytest.raises(ValueError):
+            t.query(np.zeros((1, 3)), k=len(data) + 1)
+
+    def test_invalid_p(self, data):
+        t = KDTree(data)
+        with pytest.raises(ValueError):
+            t.query(np.zeros((1, 3)), k=1, p=0.5)
+
+    def test_dim_mismatch(self, data):
+        t = KDTree(data)
+        with pytest.raises(ValueError):
+            t.query(np.zeros((1, 5)), k=1)
+
+    def test_single_query_1d_input(self, data):
+        t = KDTree(data)
+        d, i = t.query(data[0], k=2)
+        assert d.shape == (1, 2)
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(2, 80),
+        k=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+        leaf=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_matches_brute(self, n, k, seed, leaf):
+        k = min(k, n)
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 2))
+        t = KDTree(data, leaf_size=leaf)
+        q = rng.normal(size=2)
+        d, _ = t.query(q, k=k)
+        bd, _ = brute_knn(data, q, k)
+        assert np.allclose(d[0], bd, atol=1e-10)

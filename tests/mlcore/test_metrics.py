@@ -1,0 +1,147 @@
+"""Tests for classification metrics, including the paper's macro-F1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_macro,
+    f1_score,
+    precision_recall_f1,
+)
+
+_labels = st.lists(st.integers(0, 2), min_size=1, max_size=100)
+
+
+class TestConfusionMatrix:
+    def test_perfect_diagonal(self):
+        y = np.array([0, 1, 1, 0])
+        cm = confusion_matrix(y, y)
+        assert np.array_equal(cm, [[2, 0], [0, 2]])
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert np.array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_explicit_labels_include_absent(self):
+        cm = confusion_matrix([0, 0], [0, 0], labels=[0, 1])
+        assert cm.shape == (2, 2)
+        assert cm[1].sum() == 0
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 0], labels=[0, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+    def test_string_labels(self):
+        cm = confusion_matrix(["m", "c"], ["m", "m"])
+        assert cm.sum() == 2
+
+    @given(_labels)
+    @settings(max_examples=100, deadline=None)
+    def test_row_sums_are_class_counts(self, y):
+        y = np.array(y)
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 3, size=len(y))
+        cm = confusion_matrix(y, pred, labels=[0, 1, 2])
+        for c in range(3):
+            assert cm[c].sum() == np.sum(y == c)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        _, p, r, f = precision_recall_f1([0, 1, 0], [0, 1, 0])
+        assert np.allclose(p, 1) and np.allclose(r, 1) and np.allclose(f, 1)
+
+    def test_harmonic_mean(self):
+        # class 1: tp=1, fp=1, fn=1 -> p=r=0.5 -> f1=0.5
+        _, p, r, f = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert f[1] == pytest.approx(0.5)
+
+    def test_zero_division_guard(self):
+        # class 1 never predicted -> precision 0, f1 0, no warnings/nans
+        _, p, r, f = precision_recall_f1([1, 1, 0], [0, 0, 0])
+        assert p[1] == 0 and f[1] == 0
+        assert not np.isnan(f).any()
+
+    def test_asymmetry_of_classes(self):
+        labels, p, r, _ = precision_recall_f1([0, 0, 0, 1], [0, 0, 1, 1])
+        assert r[0] == pytest.approx(2 / 3)
+        assert p[1] == pytest.approx(0.5)
+
+
+class TestF1Macro:
+    def test_unweighted_mean(self):
+        # imbalanced: macro-F1 is NOT dominated by the majority class
+        y = [0] * 90 + [1] * 10
+        pred = [0] * 100  # majority guess
+        assert accuracy_score(y, pred) == 0.9
+        f = f1_macro(y, pred)
+        assert f == pytest.approx((2 * 0.9 / 1.9 + 0.0) / 2, abs=1e-9)
+
+    def test_matches_mean_of_per_class(self):
+        y = [0, 1, 1, 0, 1]
+        pred = [0, 1, 0, 0, 1]
+        _, _, _, per = precision_recall_f1(y, pred)
+        assert f1_macro(y, pred) == pytest.approx(per.mean())
+
+    @given(_labels)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, y):
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 3, size=len(y))
+        assert 0.0 <= f1_macro(y, pred) <= 1.0
+
+    @given(_labels)
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_prediction_is_one(self, y):
+        assert f1_macro(y, y) == 1.0
+
+
+class TestF1Binary:
+    def test_pos_label(self):
+        y = [0, 1, 1]
+        pred = [0, 1, 0]
+        assert f1_score(y, pred, pos_label=1) == pytest.approx(2 / 3)
+
+    def test_missing_pos_label_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 0], [0, 0], pos_label=5)
+
+
+class TestAccuracy:
+    def test_value(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 1, 1, 1]) == 0.75
+
+    @given(_labels)
+    @settings(max_examples=50, deadline=None)
+    def test_complement_relationship(self, y):
+        y = np.array(y)
+        flipped = 1 - np.clip(y, 0, 1)
+        acc = accuracy_score(np.clip(y, 0, 1), flipped)
+        assert acc == pytest.approx(1.0 - accuracy_score(np.clip(y, 0, 1), np.clip(y, 0, 1) * 0 + np.clip(y, 0, 1))) or 0 <= acc <= 1
+
+
+class TestReport:
+    def test_contains_classes_and_macro(self):
+        text = classification_report(
+            [0, 1, 0, 1], [0, 1, 1, 1], target_names=["memory-bound", "compute-bound"]
+        )
+        assert "memory-bound" in text
+        assert "macro avg" in text
+        assert "accuracy" in text
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classification_report([0, 1], [0, 1], target_names=["only-one"])

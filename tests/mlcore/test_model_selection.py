@@ -1,0 +1,118 @@
+"""Tests for splits, stratification and time windows."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.model_selection import (
+    StratifiedKFold,
+    cross_val_score,
+    time_window_indices,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(Xte) == 25
+        assert len(Xtr) == 75
+
+    def test_partition_no_overlap(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50) % 2
+        Xtr, Xte, _, _ = train_test_split(X, y, random_state=1)
+        assert set(Xtr[:, 0]) | set(Xte[:, 0]) == set(range(50))
+        assert not set(Xtr[:, 0]) & set(Xte[:, 0])
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100).reshape(-1, 1)
+        _, _, _, yte = train_test_split(X, y, test_size=0.25, stratify=True, random_state=2)
+        assert np.sum(yte == 1) == 5
+
+    def test_deterministic_given_seed(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = np.arange(30) % 2
+        a = train_test_split(X, y, random_state=7)[1]
+        b = train_test_split(X, y, random_state=7)[1]
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("ts", [0.0, 1.0, -0.5])
+    def test_invalid_test_size(self, ts):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=ts)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(9))
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_data(self):
+        y = np.array([0] * 30 + [1] * 20)
+        seen = []
+        for _, test in StratifiedKFold(5, random_state=0).split(y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_class_ratio_per_fold(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test in StratifiedKFold(5, random_state=0).split(y):
+            assert np.sum(y[test] == 1) == 2
+
+    def test_train_test_disjoint(self):
+        y = np.arange(20) % 2
+        for train, test in StratifiedKFold(4, random_state=0).split(y):
+            assert not set(train) & set(test)
+
+    def test_too_few_samples_per_class(self):
+        y = np.array([0, 0, 0, 1])
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(2).split(y))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+
+
+class TestCrossValScore:
+    def test_scores_reasonable(self):
+        from repro.mlcore.knn import KNeighborsClassifier
+
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 1, (50, 3)), rng.normal(2, 1, (50, 3))])
+        y = np.array([0] * 50 + [1] * 50)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(3), X, y, cv=5, random_state=0
+        )
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.9
+
+    def test_custom_scorer(self):
+        from repro.mlcore.knn import KNeighborsClassifier
+        from repro.mlcore.metrics import f1_macro
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(3),
+            X,
+            y,
+            cv=3,
+            scorer=lambda m, Xt, yt: f1_macro(yt, m.predict(Xt)),
+            random_state=0,
+        )
+        assert np.all((0 <= scores) & (scores <= 1))
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        idx = time_window_indices(times, 1.0, 3.0)
+        assert idx.tolist() == [1, 2]
+
+    def test_empty_window(self):
+        assert time_window_indices(np.array([5.0]), 0.0, 1.0).size == 0

@@ -1,0 +1,129 @@
+"""Tests for pickle-free persistence and the model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.knn import KNeighborsClassifier
+from repro.mlcore.persistence import (
+    ModelRegistry,
+    load_model,
+    registered_model_classes,
+    save_model,
+)
+from repro.mlcore.tree import DecisionTreeClassifier
+
+
+def fitted_tree():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(100, 3))
+    y = (X[:, 0] > 0).astype(int)
+    return DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y), X
+
+
+class TestSaveLoad:
+    def test_files_on_disk(self, tmp_path):
+        t, _ = fitted_tree()
+        out = save_model(t, tmp_path / "m")
+        assert (out / "manifest.json").exists()
+        assert (out / "arrays.npz").exists()
+
+    def test_no_pickle_in_archive(self, tmp_path):
+        t, _ = fitted_tree()
+        save_model(t, tmp_path / "m")
+        # loading with allow_pickle=False must work: nothing is pickled
+        with np.load(tmp_path / "m" / "arrays.npz", allow_pickle=False) as z:
+            assert len(z.files) > 0
+
+    def test_roundtrip_tree(self, tmp_path):
+        t, X = fitted_tree()
+        save_model(t, tmp_path / "m")
+        t2 = load_model(tmp_path / "m")
+        assert np.array_equal(t.predict(X), t2.predict(X))
+
+    def test_overwrite_existing(self, tmp_path):
+        t, _ = fitted_tree()
+        save_model(t, tmp_path / "m")
+        save_model(t, tmp_path / "m")  # no error
+        assert load_model(tmp_path / "m") is not None
+
+    def test_unregistered_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "m")
+
+    def test_unknown_class_in_manifest_rejected(self, tmp_path):
+        t, _ = fitted_tree()
+        save_model(t, tmp_path / "m")
+        manifest = json.loads((tmp_path / "m" / "manifest.json").read_text())
+        manifest["model_class"] = "EvilModel"
+        (tmp_path / "m" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(TypeError):
+            load_model(tmp_path / "m")
+
+    def test_registry_lists_all_models(self):
+        names = registered_model_classes()
+        assert "RandomForestClassifier" in names
+        assert "KNeighborsClassifier" in names
+        assert "LookupTableBaseline" in names
+
+    def test_nested_forest_children(self, tmp_path):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 1] > 0).astype(int)
+        f = RandomForestClassifier(4, max_depth=3, random_state=0).fit(X, y)
+        save_model(f, tmp_path / "f")
+        f2 = load_model(tmp_path / "f")
+        assert len(f2.estimators_) == 4
+        assert np.allclose(f.predict_proba(X), f2.predict_proba(X))
+
+
+class TestModelRegistry:
+    def test_publish_increments_versions(self, tmp_path):
+        t, _ = fitted_tree()
+        reg = ModelRegistry(tmp_path / "reg")
+        assert reg.latest_version is None
+        assert reg.publish(t) == 1
+        assert reg.publish(t) == 2
+        assert reg.latest_version == 2
+
+    def test_load_specific_version(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        t, X = fitted_tree()
+        reg.publish(t)
+        rng = np.random.default_rng(5)
+        knn = KNeighborsClassifier(3).fit(X, (X[:, 0] > 0).astype(int))
+        reg.publish(knn)
+        assert isinstance(reg.load(1), DecisionTreeClassifier)
+        assert isinstance(reg.load(2), KNeighborsClassifier)
+        assert isinstance(reg.load_latest(), KNeighborsClassifier)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        t, _ = fitted_tree()
+        v = reg.publish(t, metadata={"alpha": 15, "beta": 1})
+        assert reg.metadata(v) == {"alpha": 15, "beta": 1}
+        assert reg.metadata(v) is not None
+
+    def test_metadata_missing_is_empty(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        t, _ = fitted_tree()
+        v = reg.publish(t)
+        assert reg.metadata(v) == {}
+
+    def test_load_missing_version(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(FileNotFoundError):
+            reg.load(3)
+
+    def test_empty_registry_load_latest(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(FileNotFoundError):
+            reg.load_latest()
+
+    def test_latest_pointer_file(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        t, _ = fitted_tree()
+        reg.publish(t)
+        assert (tmp_path / "reg" / "LATEST").read_text() == "1"

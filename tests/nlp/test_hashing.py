@@ -1,0 +1,45 @@
+"""Tests for deterministic FNV-1a hashing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.hashing import fnv1a64, hash_token
+
+
+class TestFNV:
+    def test_known_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+
+    def test_determinism(self):
+        assert fnv1a64(b"hello") == fnv1a64(b"hello")
+
+    def test_seed_changes_hash(self):
+        assert fnv1a64(b"hello", seed=1) != fnv1a64(b"hello", seed=2)
+
+    def test_64_bit_range(self):
+        for s in (b"", b"a", b"abcdef" * 10):
+            assert 0 <= fnv1a64(s) < 2**64
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_always_in_range(self, data):
+        assert 0 <= fnv1a64(data) < 2**64
+
+    @given(st.text(max_size=32), st.text(max_size=32))
+    @settings(max_examples=150, deadline=None)
+    def test_distinct_tokens_rarely_collide(self, a, b):
+        # not a strict guarantee, but FNV on short tokens should separate
+        # unequal inputs in a 64-bit space essentially always
+        if a != b:
+            assert hash_token(a) != hash_token(b)
+
+    def test_unicode_handled(self):
+        assert isinstance(hash_token("日本語ジョブ"), int)
+
+
+class TestBitDispersion:
+    def test_top_bit_used(self):
+        # the embedder derives signs from the top bit; both signs must occur
+        tops = {(hash_token(f"t{i}") >> 63) & 1 for i in range(64)}
+        assert tops == {0, 1}

@@ -1,0 +1,51 @@
+"""Tests for online document-frequency statistics."""
+
+import math
+
+import pytest
+
+from repro.nlp.tfidf import DocumentFrequencyTable
+
+
+class TestDocumentFrequency:
+    def test_empty_table_neutral(self):
+        t = DocumentFrequencyTable()
+        assert t.n_docs == 0
+        assert t.idf(123) == 1.0
+
+    def test_counts_documents_not_occurrences(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1, 1, 1], [1, 2]])
+        assert t.document_frequency(1) == 2  # not 4
+        assert t.document_frequency(2) == 1
+
+    def test_idf_formula(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1], [1], [2]])
+        assert t.idf(1) == pytest.approx(math.log(4 / 3) + 1)
+        assert t.idf(2) == pytest.approx(math.log(4 / 2) + 1)
+
+    def test_unseen_token_gets_max_weight(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1]] * 10)
+        assert t.idf(999) > t.idf(1)
+
+    def test_incremental_fit_accumulates(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1]])
+        t.partial_fit([[1], [2]])
+        assert t.n_docs == 3
+        assert t.document_frequency(1) == 2
+
+    def test_rare_weighs_more_than_common(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1, 2]] * 5 + [[2]] * 95)
+        assert t.idf(1) > t.idf(2)
+
+    def test_state_roundtrip(self):
+        t = DocumentFrequencyTable()
+        t.partial_fit([[1, 2], [2, 3]])
+        t2 = DocumentFrequencyTable.from_state_dict(t.state_dict())
+        assert t2.n_docs == t.n_docs
+        for tok in (1, 2, 3, 4):
+            assert t2.idf(tok) == t.idf(tok)

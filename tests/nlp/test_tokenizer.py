@@ -1,0 +1,67 @@
+"""Tests for tokenization of job feature strings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.nlp.tokenizer import char_ngrams, feature_tokens, word_tokens
+
+
+class TestWordTokens:
+    def test_splits_code_like_names(self):
+        assert word_tokens("run_cavity_LES012.sh") == ["run", "cavity", "les", "012", "sh"]
+
+    def test_lowercases(self):
+        assert word_tokens("ABC") == ["abc"]
+
+    def test_digits_split_from_letters(self):
+        assert word_tokens("job42x") == ["job", "42", "x"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+        assert word_tokens("___") == []
+
+
+class TestCharNgrams:
+    def test_boundary_markers(self):
+        assert char_ngrams("ab", 3, 3) == ["^ab", "ab$"]
+
+    def test_range(self):
+        grams = char_ngrams("abc", 3, 4)
+        assert "^ab" in grams and "^abc" in grams
+
+    def test_short_string(self):
+        # "^a$" has length 3; no 4-grams exist
+        assert char_ngrams("a", 3, 4) == ["^a$"]
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0, 3)
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 4, 3)
+
+    @given(st.text(max_size=30), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_ngram_lengths(self, text, n):
+        for g in char_ngrams(text, n, n):
+            assert len(g) == n
+
+
+class TestFeatureTokens:
+    def test_word_tokens_doubled(self):
+        toks = feature_tokens("abc")
+        assert toks.count("w:abc") == 2
+
+    def test_namespaces_disjoint(self):
+        toks = feature_tokens("run_x")
+        kinds = {t.split(":", 1)[0] for t in toks}
+        assert kinds == {"w", "g"}
+
+    def test_similar_strings_share_tokens(self):
+        a = set(feature_tokens("riken-ra0042,run_01.sh"))
+        b = set(feature_tokens("riken-ra0042,run_02.sh"))
+        c = set(feature_tokens("corp-hp9000,train_bert"))
+        assert len(a & b) > len(a & c)
+
+    def test_deterministic(self):
+        assert feature_tokens("x,y,1") == feature_tokens("x,y,1")

@@ -1,0 +1,71 @@
+"""Tests for balanced chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.chunking import chunk_bounds, chunk_indices, split_array
+
+
+class TestChunkBounds:
+    def test_example(self):
+        assert chunk_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_bounds(0, 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_bounds(5, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, n, k):
+        bounds = chunk_bounds(n, k)
+        # covers exactly [0, n) without gaps or overlaps
+        pos = 0
+        for lo, hi in bounds:
+            assert lo == pos
+            assert hi > lo
+            pos = hi
+        assert pos == n
+        # balanced: sizes differ by at most one
+        if bounds:
+            sizes = [hi - lo for lo, hi in bounds]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkIndices:
+    def test_fixed_size(self):
+        assert chunk_indices(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_indices(10, 0)
+
+    @given(st.integers(0, 5000), st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_cover(self, n, size):
+        chunks = chunk_indices(n, size)
+        total = sum(hi - lo for lo, hi in chunks)
+        assert total == n
+        for lo, hi in chunks[:-1]:
+            assert hi - lo == size
+
+
+class TestSplitArray:
+    def test_views_not_copies(self):
+        a = np.arange(10)
+        parts = split_array(a, 2)
+        parts[0][0] = 99
+        assert a[0] == 99
+
+    def test_round_trip(self):
+        a = np.arange(17)
+        assert np.array_equal(np.concatenate(split_array(a, 5)), a)

@@ -1,0 +1,108 @@
+"""Tests for the MPI-style local communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.communicator import LocalCommunicator, run_spmd
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def region(comm, rank):
+            data = {"payload": 42} if rank == 0 else None
+            return comm.bcast(data, rank, root=0)
+
+        results = run_spmd(region, 4)
+        assert all(r == {"payload": 42} for r in results)
+
+    def test_scatter(self):
+        def region(comm, rank):
+            items = [10, 20, 30] if rank == 0 else None
+            return comm.scatter(items, rank, root=0)
+
+        assert run_spmd(region, 3) == [10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def region(comm, rank):
+            items = [1, 2] if rank == 0 else None
+            return comm.scatter(items, rank)
+
+        with pytest.raises(ValueError):
+            run_spmd(region, 3)
+
+    def test_gather_root_only(self):
+        def region(comm, rank):
+            return comm.gather(rank * rank, rank, root=0)
+
+        results = run_spmd(region, 4)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def region(comm, rank):
+            return comm.allgather(rank, rank)
+
+        results = run_spmd(region, 3)
+        assert all(r == [0, 1, 2] for r in results)
+
+    def test_allreduce_sum(self):
+        def region(comm, rank):
+            return comm.allreduce(rank + 1, rank)
+
+        assert run_spmd(region, 4) == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        def region(comm, rank):
+            return comm.allreduce(rank, rank, op=max)
+
+        assert run_spmd(region, 5) == [4, 4, 4, 4, 4]
+
+    def test_allreduce_arrays(self):
+        def region(comm, rank):
+            return comm.allreduce(np.full(3, rank), rank)
+
+        results = run_spmd(region, 3)
+        assert np.array_equal(results[0], np.full(3, 3))
+
+    def test_chunk_for_rank_partitions(self):
+        comm = LocalCommunicator(3)
+        spans = [comm.chunk_for_rank(10, r) for r in range(3)]
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_spmd_parallel_sum_matches_serial(self):
+        data = np.arange(1000, dtype=np.float64)
+
+        def region(comm, rank):
+            lo, hi = comm.chunk_for_rank(len(data), rank)
+            return comm.allreduce(float(data[lo:hi].sum()), rank)
+
+        results = run_spmd(region, 4)
+        assert all(r == pytest.approx(data.sum()) for r in results)
+
+
+class TestValidation:
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            LocalCommunicator(0)
+
+    def test_bad_rank(self):
+        comm = LocalCommunicator(1)
+        with pytest.raises(ValueError):
+            comm.allgather(1, 5)
+
+    def test_single_rank_degenerates(self):
+        def region(comm, rank):
+            assert comm.bcast("x", rank) == "x"
+            assert comm.allgather(7, rank) == [7]
+            return comm.allreduce(3, rank)
+
+        assert run_spmd(region, 1) == [3]
+
+    def test_exception_in_rank_propagates(self):
+        def region(comm, rank):
+            if rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            run_spmd(region, 2)

@@ -1,0 +1,56 @@
+"""Tests for shared-memory arrays."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.sharedmem import SharedArray
+
+
+class TestLifecycle:
+    def test_create_zeroed(self):
+        with SharedArray.create((4, 3)) as sa:
+            assert sa.array.shape == (4, 3)
+            assert np.all(sa.array == 0)
+
+    def test_from_array_copies(self):
+        src = np.arange(6, dtype=np.float32).reshape(2, 3)
+        with SharedArray.from_array(src) as sa:
+            assert np.array_equal(sa.array, src)
+            src[0, 0] = 99  # source mutation does not affect the segment
+            assert sa.array[0, 0] == 0
+
+    def test_attach_sees_writes(self):
+        owner = SharedArray.create(8, dtype=np.int64)
+        try:
+            owner.array[:] = np.arange(8)
+            other = SharedArray.attach(owner.name, (8,), np.int64)
+            assert np.array_equal(other.array, np.arange(8))
+            other.array[0] = -1
+            assert owner.array[0] == -1
+            other.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_descriptor_roundtrip(self):
+        owner = SharedArray.create((2, 2))
+        try:
+            owner.array[:] = 7.0
+            desc = owner.descriptor()
+            assert desc["shape"] == [2, 2]
+            back = SharedArray.from_descriptor(desc)
+            assert np.all(back.array == 7.0)
+            back.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArray.create((0, 3))
+
+    def test_context_manager_unlinks(self):
+        with SharedArray.create(4) as sa:
+            name = sa.name
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(name, (4,), np.float64)

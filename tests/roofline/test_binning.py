@@ -1,0 +1,79 @@
+"""Tests for log-binned roofline scatter summaries."""
+
+import numpy as np
+import pytest
+
+from repro.roofline.binning import RooflineScatterSummary, log_bin_2d
+from repro.roofline.model import Roofline
+
+
+class TestLogBin2D:
+    def test_counts_conserved(self):
+        rng = np.random.default_rng(0)
+        x = 10 ** rng.uniform(-3, 2, 500)
+        y = 10 ** rng.uniform(-2, 3, 500)
+        counts, xe, ye = log_bin_2d(x, y, x_range=(1e-4, 1e3), y_range=(1e-3, 1e4))
+        assert counts.sum() == 500
+
+    def test_out_of_range_clipped_not_dropped(self):
+        counts, _, _ = log_bin_2d(
+            np.array([1e-10, 1e10]),
+            np.array([1.0, 1.0]),
+            x_range=(1e-2, 1e2),
+            y_range=(1e-2, 1e2),
+            bins=(4, 4),
+        )
+        assert counts.sum() == 2
+        assert counts[0].sum() == 1 and counts[-1].sum() == 1
+
+    def test_edges_log_spaced(self):
+        _, xe, _ = log_bin_2d(
+            np.ones(1), np.ones(1), x_range=(1.0, 100.0), y_range=(1.0, 10.0), bins=(4, 2)
+        )
+        assert np.allclose(np.diff(np.log10(xe)), np.diff(np.log10(xe))[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            log_bin_2d(np.ones(3), np.ones(2), x_range=(1, 10), y_range=(1, 10))
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(ValueError):
+            log_bin_2d(np.ones(1), np.ones(1), x_range=(0, 10), y_range=(1, 10))
+
+
+class TestScatterSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        rl = Roofline(3380.0, 1024.0)
+        rng = np.random.default_rng(1)
+        op = 10 ** rng.normal(-0.5, 0.8, size=2000)  # skewed memory-bound
+        eff = rng.beta(1.5, 6.0, size=2000)
+        perf = eff * rl.attainable(op)
+        return RooflineScatterSummary.from_jobs(op, perf, rl), rl
+
+    def test_fraction_memory_bound(self, summary):
+        s, rl = summary
+        assert s.frac_memory_bound > 0.5
+        assert 0 <= s.frac_memory_bound <= 1
+
+    def test_median_below_ridge(self, summary):
+        s, rl = summary
+        assert s.median_op < rl.ridge_point
+
+    def test_ceiling_fractions_ordered(self, summary):
+        s, _ = summary
+        assert s.frac_near_ceiling <= s.frac_within_decade_of_ceiling
+
+    def test_histogram_mass(self, summary):
+        s, _ = summary
+        assert s.counts.sum() == s.n_jobs == 2000
+
+    def test_empty_rejected(self):
+        rl = Roofline(1.0, 1.0)
+        with pytest.raises(ValueError):
+            RooflineScatterSummary.from_jobs(np.array([]), np.array([]), rl)
+
+    def test_shape_mismatch_rejected(self):
+        rl = Roofline(1.0, 1.0)
+        with pytest.raises(ValueError):
+            RooflineScatterSummary.from_jobs(np.ones(3), np.ones(4), rl)

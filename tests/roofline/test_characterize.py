@@ -1,0 +1,109 @@
+"""Tests for Equations 1-3 and ridge labelling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roofline.characterize import (
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    characterize_jobs,
+    job_memory_bandwidth,
+    job_operational_intensity,
+    job_performance,
+)
+from repro.roofline.model import Roofline
+
+
+class TestEquation1:
+    def test_per_node_gflops(self):
+        # 1e12 flops over 10 s on 2 nodes = 50 GFlops/s per node
+        assert job_performance(1e12, 10.0, 2) == pytest.approx(50.0)
+
+    def test_normalization_by_nodes(self):
+        one = job_performance(1e12, 10.0, 1)
+        four = job_performance(1e12, 10.0, 4)
+        assert one == pytest.approx(4 * four)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            job_performance(1e12, 0.0, 1)
+        with pytest.raises(ValueError):
+            job_performance(1e12, 10.0, 0)
+        with pytest.raises(ValueError):
+            job_performance(-1.0, 10.0, 1)
+
+
+class TestEquation2:
+    def test_per_node_gbs(self):
+        assert job_memory_bandwidth(1e12, 10.0, 2) == pytest.approx(50.0)
+
+
+class TestEquation3:
+    def test_ratio(self):
+        assert job_operational_intensity(100.0, 50.0) == pytest.approx(2.0)
+
+    def test_duration_and_nodes_cancel(self):
+        # op computed via p/mb equals flops/bytes regardless of normalization
+        p = job_performance(1e12, 7.0, 3)
+        mb = job_memory_bandwidth(5e11, 7.0, 3)
+        assert p / mb == pytest.approx(job_operational_intensity(1e12, 5e11))
+
+    def test_zero_bytes_guard(self):
+        op = job_operational_intensity(100.0, 0.0)
+        assert np.isfinite(op)
+        assert op == pytest.approx(100.0)  # floor of 1 byte
+
+
+class TestLabelling:
+    @pytest.fixture(scope="class")
+    def roofline(self):
+        return Roofline(3380.0, 1024.0)
+
+    def test_memory_bound_job(self, roofline):
+        # 1 flop per byte << ridge 3.3
+        _, _, _, lab = characterize_jobs(1e12, 1e12, 10.0, 1, roofline)
+        assert lab == MEMORY_BOUND
+
+    def test_compute_bound_job(self, roofline):
+        _, _, _, lab = characterize_jobs(1e13, 1e12, 10.0, 1, roofline)
+        assert lab == COMPUTE_BOUND
+
+    def test_tie_is_memory_bound(self, roofline):
+        # op exactly at ridge: the paper labels compute-bound only if GREATER
+        flops = roofline.ridge_point * 1e9
+        _, _, op, lab = characterize_jobs(flops, 1e9, 1.0, 1, roofline)
+        assert op == pytest.approx(roofline.ridge_point)
+        assert lab == MEMORY_BOUND
+
+    def test_vectorized_batch(self, roofline):
+        flops = np.array([1e12, 1e13])
+        moved = np.array([1e12, 1e12])
+        p, mb, op, lab = characterize_jobs(flops, moved, np.array([10.0, 10.0]), np.array([1, 1]), roofline)
+        assert lab.tolist() == [MEMORY_BOUND, COMPUTE_BOUND]
+        assert p.shape == mb.shape == op.shape == (2,)
+
+    @given(
+        flops=st.floats(min_value=1.0, max_value=1e18),
+        moved=st.floats(min_value=1.0, max_value=1e18),
+        duration=st.floats(min_value=1.0, max_value=1e6),
+        nodes=st.integers(1, 1000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_label_independent_of_duration_and_nodes(self, flops, moved, duration, nodes):
+        rl = Roofline(3380.0, 1024.0)
+        _, _, _, lab1 = characterize_jobs(flops, moved, duration, nodes, rl)
+        _, _, _, lab2 = characterize_jobs(flops, moved, 1.0, 1, rl)
+        assert lab1 == lab2
+
+    @given(
+        flops=st.floats(min_value=1.0, max_value=1e18),
+        moved=st.floats(min_value=1.0, max_value=1e18),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_label_matches_direct_ratio(self, flops, moved):
+        rl = Roofline(3380.0, 1024.0)
+        _, _, op, lab = characterize_jobs(flops, moved, 1.0, 1, rl)
+        expected = COMPUTE_BOUND if flops / moved > rl.ridge_point else MEMORY_BOUND
+        assert lab == expected

@@ -1,0 +1,81 @@
+"""Tests for the basic Roofline model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roofline.model import Roofline
+
+
+@pytest.fixture(scope="module")
+def fugaku_roofline():
+    return Roofline(3380.0, 1024.0)
+
+
+class TestRidge:
+    def test_fugaku_ridge(self, fugaku_roofline):
+        assert fugaku_roofline.ridge_point == pytest.approx(3.30, abs=0.01)
+
+    def test_ridge_is_ratio(self):
+        assert Roofline(100.0, 50.0).ridge_point == 2.0
+
+    def test_invalid_ceilings(self):
+        with pytest.raises(ValueError):
+            Roofline(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Roofline(1.0, -1.0)
+
+
+class TestAttainable:
+    def test_memory_bound_region(self, fugaku_roofline):
+        assert fugaku_roofline.attainable(1.0) == pytest.approx(1024.0)
+
+    def test_compute_bound_region(self, fugaku_roofline):
+        assert fugaku_roofline.attainable(100.0) == 3380.0
+
+    def test_continuous_at_ridge(self, fugaku_roofline):
+        r = fugaku_roofline.ridge_point
+        assert fugaku_roofline.attainable(r) == pytest.approx(3380.0)
+
+    def test_vectorized(self, fugaku_roofline):
+        ops = np.array([0.1, 1.0, 10.0])
+        out = fugaku_roofline.attainable(ops)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_negative_rejected(self, fugaku_roofline):
+        with pytest.raises(ValueError):
+            fugaku_roofline.attainable(-0.1)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_either_ceiling(self, op):
+        rl = Roofline(3380.0, 1024.0)
+        at = rl.attainable(op)
+        assert at <= 3380.0 + 1e-9
+        assert at <= 1024.0 * op + 1e-9 or op == 0
+
+
+class TestClassification:
+    def test_strictly_above_ridge_is_compute(self, fugaku_roofline):
+        r = fugaku_roofline.ridge_point
+        assert fugaku_roofline.is_compute_bound(r * 1.001)
+        assert not fugaku_roofline.is_compute_bound(r)  # ties are memory-bound
+        assert not fugaku_roofline.is_compute_bound(r * 0.999)
+
+    def test_vectorized(self, fugaku_roofline):
+        out = fugaku_roofline.is_compute_bound(np.array([0.1, 100.0]))
+        assert out.tolist() == [False, True]
+
+
+class TestEfficiency:
+    def test_full_efficiency(self, fugaku_roofline):
+        assert fugaku_roofline.efficiency(1.0, 1024.0) == pytest.approx(1.0)
+
+    def test_half_efficiency(self, fugaku_roofline):
+        assert fugaku_roofline.efficiency(100.0, 1690.0) == pytest.approx(0.5)
+
+    def test_vectorized(self, fugaku_roofline):
+        eff = fugaku_roofline.efficiency(np.array([1.0, 100.0]), np.array([512.0, 338.0]))
+        assert np.allclose(eff, [0.5, 0.1])

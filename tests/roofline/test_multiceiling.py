@@ -1,0 +1,100 @@
+"""Tests for the multi-ceiling extension (interconnect/cache/GPU-bound)."""
+
+import numpy as np
+import pytest
+
+from repro.roofline.multiceiling import Ceiling, MultiCeilingRoofline
+
+
+@pytest.fixture()
+def model():
+    return MultiCeilingRoofline(
+        3380.0,
+        [Ceiling("hbm", 1024.0), Ceiling("tofu", 40.0)],
+    )
+
+
+class TestConstruction:
+    def test_class_names(self, model):
+        assert model.class_names == ("hbm-bound", "tofu-bound", "compute-bound")
+
+    def test_ridge_per_ceiling(self, model):
+        assert model.ridge_point("hbm") == pytest.approx(3380 / 1024)
+        assert model.ridge_point("tofu") == pytest.approx(3380 / 40)
+
+    def test_unknown_ceiling(self, model):
+        with pytest.raises(KeyError):
+            model.ridge_point("gpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiCeilingRoofline(0.0, [Ceiling("x", 1.0)])
+        with pytest.raises(ValueError):
+            MultiCeilingRoofline(1.0, [])
+        with pytest.raises(ValueError):
+            MultiCeilingRoofline(1.0, [Ceiling("x", 1.0), Ceiling("x", 2.0)])
+        with pytest.raises(ValueError):
+            Ceiling("x", -1.0)
+
+
+class TestClassification:
+    def test_hbm_bound(self, model):
+        lab = model.classify(
+            np.array([100.0]),
+            {"hbm": np.array([900.0]), "tofu": np.array([1.0])},
+        )
+        assert model.class_names[lab[0]] == "hbm-bound"
+
+    def test_interconnect_bound(self, model):
+        lab = model.classify(
+            np.array([100.0]),
+            {"hbm": np.array([100.0]), "tofu": np.array([38.0])},
+        )
+        assert model.class_names[lab[0]] == "tofu-bound"
+
+    def test_compute_bound(self, model):
+        lab = model.classify(
+            np.array([3000.0]),
+            {"hbm": np.array([100.0]), "tofu": np.array([1.0])},
+        )
+        assert model.class_names[lab[0]] == "compute-bound"
+
+    def test_batch(self, model):
+        perf = np.array([100.0, 3000.0])
+        traffic = {"hbm": np.array([900.0, 10.0]), "tofu": np.array([0.1, 0.1])}
+        labs = model.classify(perf, traffic)
+        assert [model.class_names[l] for l in labs] == ["hbm-bound", "compute-bound"]
+
+    def test_missing_traffic_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.classify(np.array([1.0]), {"hbm": np.array([1.0])})
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.classify(
+                np.array([1.0]),
+                {"hbm": np.array([1.0, 2.0]), "tofu": np.array([1.0])},
+            )
+
+    def test_negative_traffic_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.classify(
+                np.array([1.0]),
+                {"hbm": np.array([-1.0]), "tofu": np.array([1.0])},
+            )
+
+    def test_binary_case_matches_basic_roofline(self):
+        """With one HBM ceiling, labels agree with the ridge rule."""
+        from repro.roofline.model import Roofline
+
+        rl = Roofline(3380.0, 1024.0)
+        mc = MultiCeilingRoofline(3380.0, [Ceiling("hbm", 1024.0)])
+        rng = np.random.default_rng(0)
+        op = 10 ** rng.uniform(-2, 2, size=200)
+        eff = rng.uniform(0.05, 0.95, size=200)
+        perf = eff * rl.attainable(op)
+        mb = perf / op
+        labs = mc.classify(perf, {"hbm": mb})
+        # utilization argmax: compute wins iff perf/peak > mb/bw <=> op > ridge
+        expected = (op > rl.ridge_point).astype(int)
+        assert np.array_equal(labs, expected)

@@ -1,0 +1,133 @@
+"""Tests for SQL aggregate queries (COUNT/SUM/AVG/MIN/MAX, GROUP BY)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Database, SQLSyntaxError
+from repro.storage.sqlparser import Aggregate, parse_sql
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.execute("CREATE TABLE j (u TEXT, nodes INTEGER INDEXED, dur REAL)")
+    d.execute(
+        "INSERT INTO j (u, nodes, dur) VALUES "
+        "('a', 1, 10.0), ('a', 2, 20.0), ('b', 4, 30.0), ('b', 8, 50.0), ('c', 1, 5.0)"
+    )
+    return d
+
+
+class TestParser:
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM j")
+        assert stmt.aggregates == (Aggregate("COUNT", None),)
+
+    def test_output_names(self):
+        assert Aggregate("COUNT", None).output_name == "count"
+        assert Aggregate("AVG", "dur").output_name == "avg_dur"
+
+    def test_group_by_parsed(self):
+        stmt = parse_sql("SELECT u, COUNT(*) FROM j GROUP BY u")
+        assert stmt.group_by == "u"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT AVG(*) FROM j",                  # only COUNT(*) allowed
+            "SELECT u, COUNT(*) FROM j",             # plain col needs GROUP BY
+            "SELECT nodes, COUNT(*) FROM j GROUP BY u",  # col not the group key
+            "SELECT u FROM j GROUP BY u",            # GROUP BY needs an aggregate
+            "SELECT * FROM j GROUP BY u",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(bad)
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM j").rows() == [{"count": 5}]
+
+    def test_all_functions(self, db):
+        row = db.execute(
+            "SELECT COUNT(*), SUM(dur), AVG(dur), MIN(nodes), MAX(nodes) FROM j"
+        ).rows()[0]
+        assert row["count"] == 5
+        assert row["sum_dur"] == pytest.approx(115.0)
+        assert row["avg_dur"] == pytest.approx(23.0)
+        assert row["min_nodes"] == 1
+        assert row["max_nodes"] == 8
+
+    def test_with_where(self, db):
+        row = db.execute("SELECT COUNT(*), AVG(dur) FROM j WHERE nodes > 1").rows()[0]
+        assert row["count"] == 3
+        assert row["avg_dur"] == pytest.approx(100.0 / 3)
+
+    def test_with_indexed_where(self, db):
+        row = db.execute("SELECT COUNT(*) FROM j WHERE nodes = 1").rows()[0]
+        assert row["count"] == 2
+
+    def test_empty_match(self, db):
+        row = db.execute("SELECT COUNT(*), SUM(dur), AVG(dur) FROM j WHERE nodes > 99").rows()[0]
+        assert row["count"] == 0
+        assert row["sum_dur"] == 0.0
+        assert np.isnan(row["avg_dur"])
+
+    def test_params_in_where(self, db):
+        row = db.execute("SELECT COUNT(*) FROM j WHERE u = ?", ["b"]).rows()[0]
+        assert row["count"] == 2
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        rows = db.execute("SELECT u, COUNT(*) FROM j GROUP BY u").rows()
+        assert {r["u"]: r["count"] for r in rows} == {"a": 2, "b": 2, "c": 1}
+
+    def test_group_avg(self, db):
+        rows = db.execute("SELECT u, AVG(dur) FROM j GROUP BY u").rows()
+        got = {r["u"]: r["avg_dur"] for r in rows}
+        assert got["a"] == pytest.approx(15.0)
+        assert got["b"] == pytest.approx(40.0)
+
+    def test_group_with_where(self, db):
+        rows = db.execute(
+            "SELECT u, SUM(nodes) FROM j WHERE dur >= 20.0 GROUP BY u"
+        ).rows()
+        assert {r["u"]: r["sum_nodes"] for r in rows} == {"a": 2.0, "b": 12.0}
+
+    def test_order_and_limit(self, db):
+        rows = db.execute(
+            "SELECT u, COUNT(*) FROM j GROUP BY u ORDER BY u DESC LIMIT 2"
+        ).rows()
+        assert [r["u"] for r in rows] == ["c", "b"]
+
+    def test_aggregate_only_with_group(self, db):
+        rows = db.execute("SELECT COUNT(*) FROM j GROUP BY u").rows()
+        assert sorted(r["count"] for r in rows) == [1, 2, 2]
+
+    def test_order_by_non_group_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT u, COUNT(*) FROM j GROUP BY u ORDER BY nodes")
+
+    def test_unknown_group_column(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT ghost, COUNT(*) FROM j GROUP BY ghost")
+
+    def test_text_aggregation_rejected(self, db):
+        with pytest.raises(TypeError):
+            db.execute("SELECT AVG(u) FROM j")
+
+
+class TestOnJobsTable:
+    def test_jobs_per_user(self, jobs_db):
+        rows = jobs_db.execute(
+            "SELECT user_name, COUNT(*) FROM jobs GROUP BY user_name"
+        ).rows()
+        total = sum(r["count"] for r in rows)
+        assert total == len(jobs_db.table("jobs"))
+
+    def test_mean_duration_positive(self, jobs_db):
+        row = jobs_db.execute("SELECT AVG(duration) FROM jobs").rows()[0]
+        assert row["avg_duration"] > 0

@@ -1,0 +1,214 @@
+"""Tests for the column-store engine: DDL, DML, planning, filters."""
+
+import numpy as np
+import pytest
+
+from repro.storage import ColumnDef, ColumnType, Database, TableSchema
+from repro.storage.sqlparser import SQLSyntaxError
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.execute(
+        "CREATE TABLE jobs (job_id INTEGER INDEXED, t REAL INDEXED, "
+        "name TEXT, nodes INTEGER)"
+    )
+    d.execute(
+        "INSERT INTO jobs (job_id, t, name, nodes) VALUES "
+        "(1, 10.0, 'a', 2), (2, 20.0, 'b', 4), (3, 30.0, 'a', 8), "
+        "(4, 40.0, 'c', 16), (5, 50.0, 'b', 32)"
+    )
+    return d
+
+
+class TestDDL:
+    def test_create_and_catalog(self):
+        d = Database()
+        d.execute("CREATE TABLE x (a INTEGER)")
+        assert d.table_names == ("x",)
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.execute("CREATE TABLE jobs (a INTEGER)")
+
+    def test_missing_table(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT * FROM nope")
+
+    def test_create_via_schema_object(self):
+        d = Database()
+        t = d.create_table(TableSchema("s", [ColumnDef("a", ColumnType.REAL)]))
+        assert len(t) == 0
+
+
+class TestInsert:
+    def test_returns_row_count(self, db):
+        n = db.execute("INSERT INTO jobs (job_id, t, name, nodes) VALUES (6, 60.0, 'd', 1)")
+        assert n == 1
+        assert len(db.table("jobs")) == 6
+
+    def test_type_coercion_enforced(self, db):
+        with pytest.raises(TypeError):
+            db.execute("INSERT INTO jobs (job_id, t, name, nodes) VALUES ('x', 1.0, 'a', 1)")
+
+    def test_params(self, db):
+        db.execute(
+            "INSERT INTO jobs (job_id, t, name, nodes) VALUES (?, ?, ?, ?)",
+            [7, 70.0, "e", 64],
+        )
+        rows = db.execute("SELECT name FROM jobs WHERE job_id = 7").rows()
+        assert rows == [{"name": "e"}]
+
+    def test_missing_param_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.execute("SELECT * FROM jobs WHERE job_id = ?", [])
+
+    def test_column_mismatch_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.execute("INSERT INTO jobs (job_id) VALUES (9)")
+
+    def test_row_width_mismatch_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.execute("INSERT INTO jobs (job_id, t, name, nodes) VALUES (9, 1.0)")
+
+    def test_growth_beyond_initial_capacity(self):
+        d = Database()
+        d.execute("CREATE TABLE g (a INTEGER)")
+        for i in range(200):
+            d.execute(f"INSERT INTO g (a) VALUES ({i})")
+        assert len(d.table("g")) == 200
+        out = d.execute("SELECT a FROM g ORDER BY a DESC LIMIT 1").rows()
+        assert out == [{"a": 199}]
+
+    def test_bulk_columnar_insert(self):
+        d = Database()
+        d.execute("CREATE TABLE b (a INTEGER, s TEXT)")
+        d.table("b").insert_columns(
+            {"a": np.arange(100), "s": np.array(["x"] * 100, dtype=object)}
+        )
+        assert len(d.table("b")) == 100
+
+
+class TestSelect:
+    def test_select_all(self, db):
+        rs = db.execute("SELECT * FROM jobs")
+        assert len(rs) == 5
+        assert set(rs.column_names) == {"job_id", "t", "name", "nodes"}
+
+    def test_projection(self, db):
+        rs = db.execute("SELECT name FROM jobs")
+        assert rs.column_names == ("name",)
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT nope FROM jobs")
+
+    def test_where_equality_on_indexed(self, db):
+        rows = db.execute("SELECT name FROM jobs WHERE job_id = 3").rows()
+        assert rows == [{"name": "a"}]
+
+    def test_where_range_on_indexed(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE t >= 20.0 AND t < 40.0")
+        assert sorted(r["job_id"] for r in rs.rows()) == [2, 3]
+
+    def test_where_on_unindexed_text(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE name = 'b'")
+        assert sorted(r["job_id"] for r in rs.rows()) == [2, 5]
+
+    def test_between(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE nodes BETWEEN 4 AND 16")
+        assert sorted(r["job_id"] for r in rs.rows()) == [2, 3, 4]
+
+    def test_in_list(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE name IN ('a', 'c')")
+        assert sorted(r["job_id"] for r in rs.rows()) == [1, 3, 4]
+
+    def test_not_in(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE name NOT IN ('a', 'c')")
+        assert sorted(r["job_id"] for r in rs.rows()) == [2, 5]
+
+    def test_or_combination(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE job_id = 1 OR nodes > 16")
+        assert sorted(r["job_id"] for r in rs.rows()) == [1, 5]
+
+    def test_not(self, db):
+        rs = db.execute("SELECT job_id FROM jobs WHERE NOT (nodes > 4)")
+        assert sorted(r["job_id"] for r in rs.rows()) == [1, 2]
+
+    def test_order_by_asc_desc(self, db):
+        asc = [r["job_id"] for r in db.execute("SELECT job_id FROM jobs ORDER BY t").rows()]
+        desc = [r["job_id"] for r in db.execute("SELECT job_id FROM jobs ORDER BY t DESC").rows()]
+        assert asc == list(reversed(desc))
+
+    def test_limit(self, db):
+        rs = db.execute("SELECT job_id FROM jobs ORDER BY job_id LIMIT 2")
+        assert [r["job_id"] for r in rs.rows()] == [1, 2]
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT * FROM jobs LIMIT 0")) == 0
+
+    def test_where_no_match(self, db):
+        assert len(db.execute("SELECT * FROM jobs WHERE job_id = 99")) == 0
+
+    def test_unknown_where_column_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT * FROM jobs WHERE ghost = 1")
+
+
+class TestPlannerEquivalence:
+    """Index-assisted plans must return the same rows as full scans."""
+
+    @pytest.fixture()
+    def big(self):
+        d = Database()
+        d.execute("CREATE TABLE x (k INTEGER INDEXED, v REAL, s TEXT)")
+        rng = np.random.default_rng(0)
+        ks = rng.integers(0, 50, size=500)
+        vs = rng.normal(size=500)
+        d.table("x").insert_columns(
+            {
+                "k": ks,
+                "v": vs,
+                "s": np.array([f"s{int(k) % 7}" for k in ks], dtype=object),
+            }
+        )
+        return d
+
+    @pytest.mark.parametrize(
+        "where",
+        [
+            "k = 7",
+            "k > 25",
+            "k <= 10",
+            "k BETWEEN 10 AND 20",
+            "k IN (3, 5, 8)",
+            "k = 7 AND v > 0.0",
+            "k > 40 AND s = 's1'",
+            "s = 's2' AND k < 5",
+        ],
+    )
+    def test_same_result_with_and_without_index(self, big, where):
+        with_index = big.execute(f"SELECT k, v FROM x WHERE {where} ORDER BY v")
+        # same data in an index-free table
+        d2 = Database()
+        d2.execute("CREATE TABLE x (k INTEGER, v REAL, s TEXT)")
+        src = big.table("x")
+        d2.table("x").insert_columns({c: src.column(c) for c in ("k", "v", "s")})
+        without = d2.execute(f"SELECT k, v FROM x WHERE {where} ORDER BY v")
+        assert np.allclose(with_index.column("v"), without.column("v"))
+        assert np.array_equal(with_index.column("k"), without.column("k"))
+
+    def test_index_invalidated_by_insert(self, big):
+        before = len(big.execute("SELECT * FROM x WHERE k = 7"))
+        big.execute("INSERT INTO x (k, v, s) VALUES (7, 0.0, 's0')")
+        after = len(big.execute("SELECT * FROM x WHERE k = 7"))
+        assert after == before + 1
+
+
+class TestResultSet:
+    def test_rows_are_python_scalars(self, db):
+        row = db.execute("SELECT job_id, t, name FROM jobs WHERE job_id = 1").rows()[0]
+        assert type(row["job_id"]) is int
+        assert type(row["t"]) is float
+        assert type(row["name"]) is str

@@ -1,0 +1,74 @@
+"""Tests for sorted secondary indexes."""
+
+import numpy as np
+import pytest
+
+from repro.storage.index import SortedIndex
+
+
+@pytest.fixture()
+def idx():
+    values = np.array([5.0, 1.0, 3.0, 3.0, 9.0, 7.0])
+    i = SortedIndex("v")
+    i.rebuild(values)
+    return i
+
+
+class TestLookups:
+    def test_eq_hits(self, idx):
+        assert sorted(idx.lookup_eq(3.0).tolist()) == [2, 3]
+
+    def test_eq_miss(self, idx):
+        assert idx.lookup_eq(4.0).size == 0
+
+    def test_range_inclusive(self, idx):
+        assert sorted(idx.lookup_range(3.0, 7.0).tolist()) == [0, 2, 3, 5]
+
+    def test_range_exclusive(self, idx):
+        got = idx.lookup_range(3.0, 7.0, low_inclusive=False, high_inclusive=False)
+        assert sorted(got.tolist()) == [0]
+
+    def test_open_ranges(self, idx):
+        assert sorted(idx.lookup_range(low=7.0).tolist()) == [4, 5]
+        assert sorted(idx.lookup_range(high=1.0).tolist()) == [1]
+
+    def test_empty_interval(self, idx):
+        assert idx.lookup_range(8.0, 2.0).size == 0
+
+    def test_lookup_in(self, idx):
+        assert sorted(idx.lookup_in([1.0, 9.0, 42.0]).tolist()) == [1, 4]
+
+    def test_lookup_in_empty(self, idx):
+        assert idx.lookup_in([]).size == 0
+
+
+class TestStaleness:
+    def test_stale_until_rebuilt(self):
+        i = SortedIndex("v")
+        assert i.is_stale
+        with pytest.raises(RuntimeError):
+            i.lookup_eq(1.0)
+
+    def test_invalidate_marks_stale(self, idx):
+        idx.invalidate()
+        assert idx.is_stale
+        with pytest.raises(RuntimeError):
+            idx.lookup_range(0, 1)
+
+    def test_rebuild_refreshes(self, idx):
+        idx.invalidate()
+        idx.rebuild(np.array([2.0, 2.0]))
+        assert sorted(idx.lookup_eq(2.0).tolist()) == [0, 1]
+
+
+class TestAgainstBruteForce:
+    def test_random_ranges_match_mask(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 100, size=300).astype(np.float64)
+        i = SortedIndex("v")
+        i.rebuild(values)
+        for _ in range(50):
+            lo, hi = sorted(rng.uniform(0, 100, size=2))
+            expected = np.flatnonzero((values >= lo) & (values <= hi))
+            got = np.sort(i.lookup_range(lo, hi))
+            assert np.array_equal(got, expected)

@@ -1,0 +1,65 @@
+"""Tests for table schemas and column types."""
+
+import numpy as np
+import pytest
+
+from repro.storage.schema import ColumnDef, ColumnType, TableSchema
+
+
+class TestColumnType:
+    def test_dtypes(self):
+        assert ColumnType.INTEGER.dtype == np.dtype(np.int64)
+        assert ColumnType.REAL.dtype == np.dtype(np.float64)
+        assert ColumnType.TEXT.dtype == np.dtype(object)
+
+    def test_coerce_integer(self):
+        assert ColumnType.INTEGER.coerce(np.int32(5)) == 5
+        with pytest.raises(TypeError):
+            ColumnType.INTEGER.coerce(1.5)
+        with pytest.raises(TypeError):
+            ColumnType.INTEGER.coerce(True)  # bools are not INTEGERs here
+
+    def test_coerce_real_accepts_int(self):
+        assert ColumnType.REAL.coerce(3) == 3.0
+        with pytest.raises(TypeError):
+            ColumnType.REAL.coerce("x")
+
+    def test_coerce_text(self):
+        assert ColumnType.TEXT.coerce("hi") == "hi"
+        with pytest.raises(TypeError):
+            ColumnType.TEXT.coerce(1)
+
+
+class TestColumnDef:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnDef("1bad", ColumnType.REAL)
+
+
+class TestTableSchema:
+    def test_accessors(self):
+        s = TableSchema(
+            "t",
+            [ColumnDef("a", ColumnType.INTEGER, indexed=True), ColumnDef("b", ColumnType.TEXT)],
+        )
+        assert s.column_names == ("a", "b")
+        assert s.indexed_columns == ("a",)
+        assert "a" in s and "c" not in s
+        assert s["a"].ctype is ColumnType.INTEGER
+
+    def test_unknown_column_keyerror(self):
+        s = TableSchema("t", [ColumnDef("a", ColumnType.REAL)])
+        with pytest.raises(KeyError):
+            s["zz"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [ColumnDef("a", ColumnType.REAL)] * 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [])
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("bad name", [ColumnDef("a", ColumnType.REAL)])

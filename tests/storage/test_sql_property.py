@@ -1,0 +1,113 @@
+"""Property-based tests of the SQL engine against a Python-level oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Database
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+@st.composite
+def table_data(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    ks = draw(st.lists(st.integers(min_value=-20, max_value=20), min_size=n, max_size=n))
+    vs = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    ss = draw(st.lists(_names, min_size=n, max_size=n))
+    return ks, vs, ss
+
+
+def build_db(ks, vs, ss, indexed: bool) -> Database:
+    d = Database()
+    idx = "INDEXED" if indexed else ""
+    d.execute(f"CREATE TABLE t (k INTEGER {idx}, v REAL, s TEXT)")
+    d.table("t").insert_columns(
+        {
+            "k": np.array(ks, dtype=np.int64),
+            "v": np.array(vs, dtype=np.float64),
+            "s": np.array(ss, dtype=object),
+        }
+    )
+    return d
+
+
+class TestFilterOracle:
+    @given(data=table_data(), lo=st.integers(-20, 20), hi=st.integers(-20, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_between_matches_python_filter(self, data, lo, hi):
+        ks, vs, ss = data
+        for indexed in (False, True):
+            d = build_db(ks, vs, ss, indexed)
+            got = d.execute(
+                "SELECT k FROM t WHERE k BETWEEN ? AND ? ORDER BY k", [lo, hi]
+            )
+            expected = sorted(k for k in ks if lo <= k <= hi)
+            assert list(got.column("k")) == expected
+
+    @given(data=table_data(), key=st.integers(-20, 20), name=_names)
+    @settings(max_examples=80, deadline=None)
+    def test_conjunction_matches_python_filter(self, data, key, name):
+        ks, vs, ss = data
+        d = build_db(ks, vs, ss, indexed=True)
+        got = d.execute(
+            "SELECT v FROM t WHERE k = ? AND s = ? ORDER BY v", [key, name]
+        )
+        expected = sorted(v for k, v, s in zip(ks, vs, ss) if k == key and s == name)
+        assert np.allclose(list(got.column("v")), expected)
+
+    @given(data=table_data())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_partitions_rows(self, data):
+        ks, vs, ss = data
+        d = build_db(ks, vs, ss, indexed=False)
+        pos = len(d.execute("SELECT k FROM t WHERE k >= 0"))
+        neg = len(d.execute("SELECT k FROM t WHERE NOT k >= 0"))
+        assert pos + neg == len(ks)
+
+    @given(data=table_data(), limit=st.integers(0, 70))
+    @settings(max_examples=60, deadline=None)
+    def test_order_limit_prefix(self, data, limit):
+        ks, vs, ss = data
+        d = build_db(ks, vs, ss, indexed=True)
+        full = list(d.execute("SELECT v FROM t ORDER BY v").column("v"))
+        lim = list(d.execute(f"SELECT v FROM t ORDER BY v LIMIT {limit}").column("v"))
+        assert lim == full[:limit]
+        assert full == sorted(full)
+
+
+class TestInsertRoundtrip:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(-1000, 1000),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+                    ),
+                    max_size=12,
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_inserted_rows_come_back(self, rows):
+        d = Database()
+        d.execute("CREATE TABLE t (k INTEGER, v REAL, s TEXT)")
+        for k, v, s in rows:
+            d.execute("INSERT INTO t (k, v, s) VALUES (?, ?, ?)", [k, v, s])
+        out = d.execute("SELECT k, v, s FROM t").rows()
+        assert len(out) == len(rows)
+        for got, (k, v, s) in zip(out, rows):
+            assert got["k"] == k
+            assert got["v"] == v
+            assert got["s"] == s

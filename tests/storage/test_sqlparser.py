@@ -1,0 +1,155 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.storage.schema import ColumnType
+from repro.storage.sqlparser import (
+    And,
+    Between,
+    Comparison,
+    CreateTable,
+    InList,
+    Insert,
+    Not,
+    Or,
+    Param,
+    Select,
+    SQLSyntaxError,
+    parse_sql,
+)
+
+
+class TestSelect:
+    def test_star(self):
+        s = parse_sql("SELECT * FROM jobs")
+        assert isinstance(s, Select)
+        assert s.columns is None
+        assert s.table == "jobs"
+
+    def test_column_list(self):
+        s = parse_sql("SELECT a, b, c FROM t")
+        assert s.columns == ("a", "b", "c")
+
+    def test_case_insensitive_keywords(self):
+        s = parse_sql("select * from t where a = 1 order by a desc limit 3")
+        assert s.order_by == "a" and s.descending and s.limit == 3
+
+    def test_where_comparison(self):
+        s = parse_sql("SELECT * FROM t WHERE a >= 10")
+        assert s.where == Comparison("a", ">=", 10)
+
+    def test_operator_aliases(self):
+        assert parse_sql("SELECT * FROM t WHERE a == 1").where.op == "="
+        assert parse_sql("SELECT * FROM t WHERE a <> 1").where.op == "!="
+
+    def test_where_and_or_precedence(self):
+        s = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(s.where, Or)
+        assert isinstance(s.where.operands[1], And)
+
+    def test_parentheses(self):
+        s = parse_sql("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(s.where, And)
+        assert isinstance(s.where.operands[0], Or)
+
+    def test_not(self):
+        s = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(s.where, Not)
+
+    def test_between(self):
+        s = parse_sql("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        assert s.where == Between("a", 1, 5)
+
+    def test_in_list(self):
+        s = parse_sql("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert s.where == InList("a", (1, 2, 3), negated=False)
+
+    def test_not_in(self):
+        s = parse_sql("SELECT * FROM t WHERE a NOT IN ('x')")
+        assert s.where == InList("a", ("x",), negated=True)
+
+    def test_string_literal_with_escaped_quote(self):
+        s = parse_sql("SELECT * FROM t WHERE a = 'o''brien'")
+        assert s.where.value == "o'brien"
+
+    def test_float_and_scientific_literals(self):
+        assert parse_sql("SELECT * FROM t WHERE a = 1.5").where.value == 1.5
+        assert parse_sql("SELECT * FROM t WHERE a = 1e3").where.value == 1000.0
+
+    def test_params_numbered_in_order(self):
+        s = parse_sql("SELECT * FROM t WHERE a = ? AND b = ?")
+        assert s.where.operands[0].value == Param(0)
+        assert s.where.operands[1].value == Param(1)
+
+    def test_order_asc_default(self):
+        s = parse_sql("SELECT * FROM t ORDER BY a")
+        assert not s.descending
+
+    def test_limit_rejects_float(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT * FROM t LIMIT 1.5")
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT * FROM t LIMIT -1")
+
+
+class TestInsert:
+    def test_with_columns(self):
+        s = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(s, Insert)
+        assert s.columns == ("a", "b")
+        assert s.rows == ((1, "x"),)
+
+    def test_without_columns(self):
+        s = parse_sql("INSERT INTO t VALUES (1, 2)")
+        assert s.columns is None
+
+    def test_multi_row(self):
+        s = parse_sql("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(s.rows) == 3
+
+    def test_params(self):
+        s = parse_sql("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert s.rows == ((Param(0), Param(1)),)
+
+
+class TestCreate:
+    def test_types_and_indexed(self):
+        s = parse_sql("CREATE TABLE t (a INTEGER INDEXED, b REAL, c TEXT)")
+        assert isinstance(s, CreateTable)
+        assert s.columns == (
+            ("a", ColumnType.INTEGER, True),
+            ("b", ColumnType.REAL, False),
+            ("c", ColumnType.TEXT, False),
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("CREATE TABLE t (a BLOB)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DROP TABLE t",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a",
+            "SELECT * FROM t WHERE a = ",
+            "SELECT * FROM t trailing garbage",
+            "INSERT INTO t VALUES",
+            "SELECT * FROM t WHERE a IN ()",
+            "SELECT * FROM t; SELECT * FROM u",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError, match="at"):
+            parse_sql("SELECT * FROM t WHERE a ~ 1")

@@ -1,0 +1,82 @@
+"""Tests for the in-process test client and the real HTTP server."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.web import App, HTTPError, TestClient, serve
+
+
+@pytest.fixture()
+def app():
+    a = App()
+
+    @a.route("/ping")
+    def ping(request):
+        return {"pong": True}
+
+    @a.route("/double", methods=("POST",))
+    def double(request):
+        return {"out": request.json()["x"] * 2}
+
+    @a.route("/fail")
+    def fail(request):
+        raise HTTPError(409, "conflict!")
+
+    return a
+
+
+class TestInProcessClient:
+    def test_get(self, app):
+        c = TestClient(app)
+        assert c.get("/ping").json() == {"pong": True}
+
+    def test_post(self, app):
+        c = TestClient(app)
+        assert c.post("/double", json_body={"x": 21}).json() == {"out": 42}
+
+    def test_verbs(self, app):
+        c = TestClient(app)
+        assert c.put("/ping").status == 405
+        assert c.delete("/ping").status == 405
+
+    def test_error_status(self, app):
+        assert TestClient(app).get("/fail").status == 409
+
+
+class TestRealServer:
+    def test_round_trip_over_socket(self, app):
+        with serve(app) as handle:
+            assert handle.port > 0
+            with urllib.request.urlopen(f"{handle.url}/ping", timeout=5) as resp:
+                assert resp.status == 200
+                assert json.loads(resp.read()) == {"pong": True}
+
+    def test_post_over_socket(self, app):
+        with serve(app) as handle:
+            req = urllib.request.Request(
+                f"{handle.url}/double",
+                data=json.dumps({"x": 5}).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                assert json.loads(resp.read()) == {"out": 10}
+
+    def test_error_over_socket(self, app):
+        with serve(app) as handle:
+            try:
+                urllib.request.urlopen(f"{handle.url}/missing", timeout=5)
+                raised = False
+            except urllib.error.HTTPError as e:
+                raised = True
+                assert e.code == 404
+            assert raised
+
+    def test_stop_idempotent_context(self, app):
+        handle = serve(app)
+        handle.stop()
+        # after stop the port is closed
+        with pytest.raises(Exception):
+            urllib.request.urlopen(f"{handle.url}/ping", timeout=1)

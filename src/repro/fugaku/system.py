@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = ["NORMAL_MODE_GHZ", "BOOST_MODE_GHZ", "FugakuSpec", "FUGAKU"]
+
 
 #: Frequencies a Fugaku user may request at submission time, in GHz.
 NORMAL_MODE_GHZ = 2.0

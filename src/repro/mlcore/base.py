@@ -21,7 +21,9 @@ class NotFittedError(RuntimeError):
 def check_random_state(seed) -> np.random.Generator:
     """Coerce ``None | int | Generator`` into a :class:`numpy.random.Generator`."""
     if seed is None:
-        return np.random.default_rng()
+        # sklearn-compatible escape hatch: random_state=None explicitly asks
+        # for OS entropy; every repro pipeline passes a concrete seed.
+        return np.random.default_rng()  # staticcheck: ignore[unseeded-rng] - None means caller opted out of replayability
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, (int, np.integer)):

@@ -123,6 +123,7 @@ class RandomForestClassifier:
             backend="thread" if self.n_jobs > 1 else "serial",
             n_workers=self.n_jobs,
         )
+        # staticcheck: ignore[unpicklable-task] - exec_cfg above pins thread/serial; the closure shares X and hist_cache by reference on purpose
         self.estimators_ = parallel_map(fit_one, range(self.n_estimators), config=exec_cfg)
 
         if oob_votes is not None and self.bootstrap:

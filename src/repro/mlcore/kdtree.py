@@ -120,9 +120,11 @@ class KDTree:
     def _reduced_leaf_dists(self, q: np.ndarray, start: int, end: int, p: float):
         idx = self._perm[start:end]
         diff = np.abs(self.data[idx] - q)
-        if p == 2.0:
+        # exact fast-path dispatch on the Minkowski exponent (p is a user
+        # parameter, not a computed float): p=2/p=1 select cheaper kernels
+        if p == 2.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
             rd = np.einsum("ij,ij->i", diff, diff)
-        elif p == 1.0:
+        elif p == 1.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
             rd = diff.sum(axis=1)
         else:
             rd = (diff**p).sum(axis=1)

@@ -69,7 +69,7 @@ class _NeighborsBase:
                 "kd_tree" if X.shape[1] <= _AUTO_KDTREE_MAX_DIM else "brute"
             )
         self._tree = KDTree(self._X, self.leaf_size) if self._backend == "kd_tree" else None
-        if self._backend == "brute" and self.p == 2.0:
+        if self._backend == "brute" and self.p == 2.0:  # staticcheck: ignore[float-equality] - dispatch on exact Minkowski parameter value
             self._sq_norms = np.einsum("ij,ij->i", self._X, self._X)
 
     # -- neighbour search ---------------------------------------------------------
@@ -98,7 +98,7 @@ class _NeighborsBase:
         for lo in range(0, nq, self.chunk_size):
             hi = min(lo + self.chunk_size, nq)
             q = X[lo:hi]
-            if self.p == 2.0:
+            if self.p == 2.0:  # staticcheck: ignore[float-equality] - dispatch on exact Minkowski parameter value
                 d = (
                     np.einsum("ij,ij->i", q, q)[:, None]
                     + self._sq_norms[None, :]
@@ -115,6 +115,7 @@ class _NeighborsBase:
             order = np.argsort(dpart, axis=1, kind="stable")
             idx[lo:hi] = np.take_along_axis(part, order, axis=1)
             dsorted = np.take_along_axis(dpart, order, axis=1)
+            # staticcheck: ignore[float-equality] - dispatch on exact Minkowski parameter value
             dist[lo:hi] = dsorted ** (0.5 if self.p == 2.0 else 1.0 / self.p)
         return dist, idx
 
@@ -127,7 +128,7 @@ class _NeighborsBase:
         for lo in range(0, n_train, block):
             hi = min(lo + block, n_train)
             diff = np.abs(q[:, None, :] - self._X[None, lo:hi, :])
-            if self.p == 1.0:
+            if self.p == 1.0:  # staticcheck: ignore[float-equality] - dispatch on exact Minkowski parameter value
                 out[:, lo:hi] = diff.sum(axis=2)
             else:
                 out[:, lo:hi] = (diff**self.p).sum(axis=2)

@@ -18,7 +18,7 @@ collectives rather than ad-hoc thread soup.
 """
 
 from repro.parallel.chunking import chunk_bounds, chunk_indices, split_array
-from repro.parallel.executor import parallel_map, ExecutorConfig
+from repro.parallel.executor import ensure_picklable, parallel_map, ExecutorConfig
 from repro.parallel.communicator import LocalCommunicator
 from repro.parallel.sharedmem import SharedArray
 
@@ -26,6 +26,7 @@ __all__ = [
     "chunk_bounds",
     "chunk_indices",
     "split_array",
+    "ensure_picklable",
     "parallel_map",
     "ExecutorConfig",
     "LocalCommunicator",

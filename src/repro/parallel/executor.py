@@ -10,11 +10,12 @@ drained.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ExecutorConfig", "parallel_map", "effective_workers"]
+__all__ = ["ExecutorConfig", "parallel_map", "effective_workers", "ensure_picklable"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,30 @@ def effective_workers(config: ExecutorConfig) -> int:
     return config.n_workers or os.cpu_count() or 1
 
 
+def ensure_picklable(fn: Callable) -> None:
+    """Pre-flight for the process backend: fail fast on unpicklable tasks.
+
+    Lambdas, closures and locally-defined functions cannot cross a process
+    boundary; without this check the pool spawns first and the pickling
+    error surfaces mid-run from inside ``concurrent.futures`` with no hint
+    of which callable was at fault.
+
+    Raises
+    ------
+    ValueError
+        Naming the offending callable and how to fix it.
+    """
+    try:
+        pickle.dumps(fn)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        raise ValueError(
+            f"parallel_map: task {name!r} is not picklable, so it cannot run "
+            f"on the 'process' backend ({exc}). Define the task at module "
+            "top level, or use the 'thread' or 'serial' backend."
+        ) from exc
+
+
 def parallel_map(
     fn: Callable,
     items: Iterable,
@@ -63,6 +88,8 @@ def parallel_map(
     workers = min(effective_workers(config), max(1, len(items)))
     if workers <= 1 or config.backend == "serial":
         return [fn(x) for x in items]
+    if config.backend == "process":
+        ensure_picklable(fn)
     pool_cls = ThreadPoolExecutor if config.backend == "thread" else ProcessPoolExecutor
     with pool_cls(max_workers=workers) as pool:
         return list(pool.map(fn, items))

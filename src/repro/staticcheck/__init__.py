@@ -1,0 +1,43 @@
+"""repro.staticcheck — AST-based project linter with MCBound-specific rules.
+
+A self-contained static-analysis engine (stdlib only) that guards the
+training/inference stack's correctness invariants: replayable randomness,
+monotonic timing, tolerance-based float comparisons at the roofline
+boundary, no swallowed exceptions in the serving loop, process-safe
+parallel tasks, honest ``__all__`` surfaces, and order-stable iteration
+into feature encoding.
+
+Programmatic use::
+
+    from repro.staticcheck import check_paths, resolve_rules
+    result = check_paths(["src/repro"])
+    assert result.clean, [str(f) for f in result.findings]
+
+Command line::
+
+    python -m repro.staticcheck src/repro --format json
+
+Suppress a single finding inline, with a justification::
+
+    rng = np.random.default_rng()  # staticcheck: ignore[unseeded-rng] - fallback path
+"""
+
+from repro.staticcheck.engine import CheckResult, ModuleContext, check_paths, check_source
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, all_rules, register, resolve_rules
+from repro.staticcheck.reporting import render, render_json, render_text
+
+__all__ = [
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "register",
+    "render",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

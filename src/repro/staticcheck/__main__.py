@@ -1,0 +1,7 @@
+"""``python -m repro.staticcheck`` entry point."""
+
+import sys
+
+from repro.staticcheck.cli import main
+
+sys.exit(main())

@@ -1,0 +1,102 @@
+"""Command line for the project linter.
+
+::
+
+    python -m repro.staticcheck [paths ...] [--format text|json]
+                                [--select ID[,ID]] [--ignore ID[,ID]]
+                                [--list-rules]
+
+With no paths the engine checks ``src/repro`` when run from the repo root
+(falling back to the installed package directory).  Exit status: 0 clean,
+1 findings, 2 usage or I/O error — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.staticcheck.engine import check_paths
+from repro.staticcheck.registry import all_rules, resolve_rules
+from repro.staticcheck.reporting import render
+
+__all__ = ["main", "build_parser"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="AST-based project linter with MCBound-specific rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src/repro, else the "
+        "installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and description, then exit",
+    )
+    return parser
+
+
+def _split(csv: str | None) -> list[str] | None:
+    if csv is None:
+        return None
+    return [part.strip() for part in csv.split(",") if part.strip()]
+
+
+def _default_paths() -> list[str]:
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return [str(candidate)]
+    # installed / imported from elsewhere: lint the package itself
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(all_rules().items()):
+            print(f"{rule_id:22s} {cls.description}")
+        return EXIT_CLEAN
+
+    try:
+        rules = resolve_rules(select=_split(args.select), ignore=_split(args.ignore))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        result = check_paths(args.paths or _default_paths(), rules=rules)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    print(render(result, args.format))
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS

@@ -1,0 +1,173 @@
+"""File discovery, parsing, rule execution and suppression filtering.
+
+The engine is the only component that touches the filesystem; rules see a
+:class:`ModuleContext` with the parsed tree, the raw source, and shared
+helpers (import-alias resolution, dotted-name rendering) so each rule
+stays a pure AST visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, resolve_rules
+from repro.staticcheck.suppressions import parse_suppressions
+
+__all__ = ["ModuleContext", "CheckResult", "check_source", "check_paths", "iter_python_files"]
+
+#: Rule id used for files that do not parse; not suppressible.
+SYNTAX_ERROR_ID = "syntax-error"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    _imports: dict[str, str] | None = field(default=None, repr=False)
+
+    # -- shared helpers ----------------------------------------------------
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Local name -> fully qualified origin, for top-level imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+        import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Render ``a.b.c`` attribute/name chains, resolving import aliases.
+
+        Returns ``None`` for anything that is not a pure name chain (calls,
+        subscripts, ...), so callers can simply compare against canonical
+        module paths like ``numpy.random.default_rng``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a run: active findings, suppressed findings, file count."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> CheckResult:
+    """Run the rule set over one source string (the unit-test entry point)."""
+    rules = list(rules) if rules is not None else resolve_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=SYNTAX_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return CheckResult(findings=[finding], suppressed=[], files_checked=1)
+
+    module = ModuleContext(path=path, source=source, tree=tree)
+    index = parse_suppressions(source)
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if index.covers(finding.line, finding.rule_id):
+                suppressed.append(
+                    Finding(
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        rule_id=finding.rule_id,
+                        message=finding.message,
+                        suppressed=True,
+                    )
+                )
+            else:
+                active.append(finding)
+    return CheckResult(findings=sorted(active), suppressed=sorted(suppressed), files_checked=1)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for child in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    seen.add(child)
+        elif p.suffix == ".py" and p.exists():
+            seen.add(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(seen)
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> CheckResult:
+    """Run the rule set over every ``.py`` file under ``paths``."""
+    rules = list(rules) if rules is not None else resolve_rules()
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    files = iter_python_files(paths)
+    for file in files:
+        result = check_source(file.read_text(encoding="utf-8"), path=str(file), rules=rules)
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+    return CheckResult(
+        findings=sorted(findings), suppressed=sorted(suppressed), files_checked=len(files)
+    )

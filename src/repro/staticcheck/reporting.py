@@ -1,0 +1,34 @@
+"""Render a :class:`CheckResult` as human text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.engine import CheckResult
+
+__all__ = ["render_text", "render_json", "render"]
+
+
+def render_text(result: CheckResult) -> str:
+    """``path:line:col: rule: message`` per finding plus a summary line."""
+    lines = [str(f) for f in result.findings]
+    summary = (
+        f"{len(result.findings)} finding{'s' if len(result.findings) != 1 else ''}"
+        f" ({len(result.suppressed)} suppressed)"
+        f" in {result.files_checked} file{'s' if result.files_checked != 1 else ''}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Stable, versioned JSON document (see ``CheckResult.to_dict``)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def render(result: CheckResult, fmt: str) -> str:
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return render_json(result)
+    raise ValueError(f"unknown format {fmt!r}")

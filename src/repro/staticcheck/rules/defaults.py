@@ -1,0 +1,51 @@
+"""``mutable-default``: mutable objects evaluated once as default arguments.
+
+A ``def f(x, acc=[])`` default is created at function-definition time and
+shared across every call — accumulated state leaks between training runs,
+which is exactly the cross-run contamination an online framework cannot
+afford.  Flags list/dict/set displays, comprehensions, and bare
+``list()``/``dict()``/``set()``/``bytearray()`` calls in default position;
+the fix is a ``None`` default resolved inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "collections.defaultdict"}
+
+
+def _is_mutable_default(module, expr: ast.AST) -> bool:
+    if isinstance(expr, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(expr, ast.Call):
+        return module.dotted_name(expr.func) in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    description = "mutable default argument is shared across calls; default to None"
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and _is_mutable_default(module, default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default in {label}() is evaluated once and "
+                        "shared across calls; use None and build it in the body",
+                    )

@@ -1,0 +1,80 @@
+"""``silent-except``: broad handlers that swallow errors without a trace.
+
+In the online loop a swallowed exception means the scheduler keeps serving
+a stale model and nobody finds out (``web/server.py``,
+``core/workflows.py``).  The rule flags ``except:``, ``except Exception:``
+and ``except BaseException:`` handlers whose body neither re-raises, nor
+logs/records the error, nor touches the bound exception object.  Narrow
+handlers (``except ValueError:``) are trusted: catching a specific type is
+itself a statement of intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["SilentExceptRule"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Call attribute/function names that count as surfacing the error.
+_REPORTING_CALLS = {
+    "print", "warn", "warning", "error", "exception", "critical", "debug",
+    "info", "log", "fail", "format_exc", "print_exc", "print_exception",
+    "record", "capture_exception",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler, module) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        name = module.dotted_name(t)
+        if name and name.rsplit(".", 1)[-1] in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _handles_the_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", None)
+            if name in _REPORTING_CALLS:
+                return True
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+@register
+class SilentExceptRule(Rule):
+    id = "silent-except"
+    description = (
+        "bare/broad except swallows the error; re-raise, log, or narrow the type"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node, module) and not _handles_the_error(node):
+                what = "bare except" if node.type is None else "except Exception"
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} swallows the error silently; re-raise it, log it, "
+                    "or catch the specific exception type you expect",
+                )

@@ -1,0 +1,122 @@
+"""``export-drift``: public modules whose ``__all__`` lies or is missing.
+
+The repo's convention (DESIGN.md §6) is that every public module declares
+``__all__`` — it is what keeps ``from repro.x import *`` surfaces and the
+docs honest.  Two failure shapes:
+
+* *missing*: a module defines public functions/classes but no ``__all__``
+  (reported at line 1);
+* *drifted*: ``__all__`` names something the module no longer binds — a
+  rename or deletion that silently broke the public surface.
+
+Modules whose filename starts with ``_`` and modules that define nothing
+public are exempt.  ``__all__`` built from non-literal expressions is
+skipped (it cannot be checked statically).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["ExportDriftRule"]
+
+
+def _literal_all_names(node: ast.AST) -> list[tuple[str, int]] | None:
+    """Extract ``(name, lineno)`` pairs from an ``__all__`` value expression."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        names.append((elt.value, elt.lineno))
+    return names
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound at module top level (defs, assigns, imports)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # names bound under TYPE_CHECKING / import-fallback guards
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                    bound.add(sub.id)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name.split(".")[0])
+    return bound
+
+
+def _public_definitions(tree: ast.Module) -> bool:
+    """Does the module define (not just import) anything public?"""
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not node.name.startswith("_")
+        for node in tree.body
+    )
+
+
+@register
+class ExportDriftRule(Rule):
+    id = "export-drift"
+    description = "__all__ missing from a public module, or naming an unbound symbol"
+
+    def check(self, module) -> Iterator[Finding]:
+        stem = PurePath(module.path).name
+        if stem.startswith("_") and stem != "__init__.py":
+            return
+
+        all_assignments = [
+            node
+            for node in module.tree.body
+            if isinstance(node, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets)
+        ]
+
+        if not all_assignments:
+            if _public_definitions(module.tree):
+                yield self.finding(
+                    module,
+                    1,
+                    "public module defines exported symbols but no __all__; "
+                    "declare the public surface explicitly",
+                )
+            return
+
+        bound = _module_bindings(module.tree)
+        for assignment in all_assignments:
+            names = _literal_all_names(assignment.value)
+            if names is None:
+                continue  # dynamically built __all__ cannot be checked here
+            for name, lineno in names:
+                if name not in bound:
+                    yield self.finding(
+                        module,
+                        lineno,
+                        f"__all__ exports {name!r} but the module does not "
+                        "bind it; the public surface has drifted",
+                    )

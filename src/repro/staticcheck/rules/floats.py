@@ -1,0 +1,61 @@
+"""``float-equality``: exact ``==``/``!=`` against float values.
+
+The memory/compute boundary is decided by ``op_j > op_r`` (paper Eq. 3 and
+the ridge point); any code path that instead tests a float for *exact*
+equality is one rounding step away from misclassifying a job.  The rule
+fires when either side of an ``==``/``!=`` comparison contains a float
+literal or an explicit ``float(...)``/``np.float64(...)`` conversion —
+a deliberately literal-anchored heuristic, so integer comparisons, shape
+checks and string comparisons never trigger it.  Use ``math.isclose``,
+``numpy.isclose`` or an explicit tolerance instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+_FLOAT_FACTORIES = {"float", "numpy.float64", "numpy.float32", "numpy.float16"}
+
+
+def _is_float_like(module, expr: ast.AST) -> bool:
+    """Does this expression visibly produce a float?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call):
+            name = module.dotted_name(node.func)
+            if name in _FLOAT_FACTORIES:
+                return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "float-equality"
+    description = (
+        "exact ==/!= on float values; use math.isclose/numpy.isclose or an "
+        "explicit tolerance"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_like(module, left) or _is_float_like(module, right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact float equality is brittle at region boundaries; "
+                        "compare with a tolerance (math.isclose / numpy.isclose)",
+                    )
+                    break

@@ -1,0 +1,72 @@
+"""``unordered-iteration``: iterating a set where order reaches model state.
+
+Feature encoding and model fitting must see their inputs in the same
+order on every run — vocabulary indices, one-hot columns and tree splits
+all inherit the iteration order of whatever fed them.  Python sets (and
+set-algebra results such as ``a | b`` or ``d.keys() & e.keys()``) iterate
+in hash order, which varies with insertion history and, for strings,
+with ``PYTHONHASHSEED``.  The rule flags ``for``-loops and comprehensions
+whose iterable is visibly a set; the fix is ``sorted(...)`` (dicts are
+insertion-ordered and are not flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnorderedIterationRule"]
+
+_SET_FACTORIES = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_OPERATORS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_expr(module, expr: ast.AST) -> bool:
+    if isinstance(expr, ast.Set):
+        return True
+    if isinstance(expr, ast.SetComp):
+        return True
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if module.dotted_name(fn) in _SET_FACTORIES:
+            return True
+        if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
+            # a.union(b) — only meaningful when the receiver looks set-ish;
+            # accept it outright: these method names are set/frozenset API.
+            return True
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPERATORS):
+        # set algebra: either operand being a set expression makes the
+        # result a set (e.g. ``seen | set(new)``, ``d.keys() & keep``)
+        return _is_set_expr(module, expr.left) or _is_set_expr(module, expr.right)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "unordered-iteration"
+    description = (
+        "iteration over a set is hash-ordered; wrap in sorted() before it "
+        "feeds encoding or fitting"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        iterables: list[ast.AST] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+        for it in iterables:
+            if _is_set_expr(module, it):
+                yield self.finding(
+                    module,
+                    it,
+                    "iterating a set in hash order is not replayable across "
+                    "runs; wrap the iterable in sorted() so downstream "
+                    "encoding/fitting sees a stable order",
+                )

@@ -1,0 +1,81 @@
+"""``unpicklable-task``: callables that cannot cross a process boundary.
+
+``repro.parallel.parallel_map`` pickles the task when its config resolves
+to the ``process`` backend; lambdas, closures (functions defined inside
+another function) and bound instance methods either fail to pickle or
+drag their whole ``self`` across.  Statically we cannot always know which
+backend a call site will resolve to, so the rule flags the risky shapes
+wherever ``parallel_map`` (or a ``ProcessPoolExecutor``'s ``map``/
+``submit``) receives one, and call sites that pin a thread/serial backend
+carry an inline suppression saying so.  The runtime complement is the
+pre-flight check in :mod:`repro.parallel.executor`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnpicklableTaskRule"]
+
+_TARGET_FN = "parallel_map"
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for stmt in ast.walk(outer):
+            if stmt is outer:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(stmt.name)
+    return nested
+
+
+def _is_parallel_map(call: ast.Call) -> bool:
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id == _TARGET_FN
+    if isinstance(fn, ast.Attribute):
+        return fn.attr == _TARGET_FN
+    return False
+
+
+@register
+class UnpicklableTaskRule(Rule):
+    id = "unpicklable-task"
+    description = (
+        "lambda/closure/bound method passed to parallel_map cannot pickle "
+        "under the process backend"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        nested = _nested_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_parallel_map(node) and node.args):
+                continue
+            task = node.args[0]
+            problem = None
+            if isinstance(task, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(task, ast.Name) and task.id in nested:
+                problem = f"the locally-defined function {task.id!r}"
+            elif isinstance(task, ast.Attribute) and isinstance(task.value, ast.Name) and (
+                task.value.id == "self"
+            ):
+                problem = f"the bound method self.{task.attr}"
+            if problem:
+                yield self.finding(
+                    module,
+                    task,
+                    f"parallel_map receives {problem}, which cannot pickle "
+                    "under the process backend; hoist the task to module "
+                    "level, or suppress if the backend is pinned to "
+                    "thread/serial",
+                )

@@ -1,0 +1,107 @@
+"""``unseeded-rng``: randomness that cannot be replayed.
+
+MCBound retrains on a cron schedule (paper §III-D); a training or
+evaluation run that draws from an unseeded generator produces models that
+can never be reproduced after the fact.  This rule flags construction or
+use of RNG state with no explicit seed:
+
+* ``numpy.random.default_rng()`` / ``numpy.random.Generator`` factories
+  called with no seed argument,
+* ``numpy.random.RandomState()`` with no seed,
+* any call into the *legacy global* numpy RNG (``np.random.rand`` etc.),
+  which is hidden process-wide state regardless of seeding,
+* the stdlib module-level ``random.*`` functions and ``random.Random()``
+  with no seed.
+
+Seeded construction (``default_rng(cfg.seed)``) and passing
+``numpy.random.Generator`` objects around are the sanctioned patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnseededRngRule"]
+
+#: numpy factories that are fine *when given a seed argument*.
+_SEEDABLE_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+}
+
+#: Legacy module-level numpy functions backed by the hidden global RNG.
+_NUMPY_GLOBAL_FNS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+    "laplace", "logistic", "lognormal", "multinomial", "multivariate_normal",
+    "normal", "permutation", "poisson", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "sample", "seed",
+    "shuffle", "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "uniform", "vonmises", "weibull", "zipf",
+}
+
+#: stdlib ``random`` module-level functions (global Mersenne Twister).
+_STDLIB_GLOBAL_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """True when the factory call passes any positional or seed= keyword."""
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "key") or kw.arg is None for kw in call.keywords)
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "unseeded-rng"
+    description = (
+        "RNG constructed or used without an explicit seed; retraining and "
+        "evaluation runs must be replayable"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _SEEDABLE_FACTORIES and not _has_seed_argument(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() without a seed: pass an explicit seed or a "
+                    "seeded numpy.random.Generator so runs are replayable",
+                )
+            elif name.startswith("numpy.random.") and name.rsplit(".", 1)[1] in _NUMPY_GLOBAL_FNS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() uses numpy's hidden global RNG; construct a "
+                    "seeded Generator (numpy.random.default_rng(seed)) and "
+                    "thread it through instead",
+                )
+            elif name.startswith("random.") and name.rsplit(".", 1)[1] in _STDLIB_GLOBAL_FNS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() uses the stdlib global RNG; use random.Random(seed) "
+                    "or a seeded numpy Generator instead",
+                )
+            elif name == "random.Random" and not _has_seed_argument(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed: pass an explicit seed so "
+                    "runs are replayable",
+                )

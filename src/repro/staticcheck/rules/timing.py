@@ -1,0 +1,41 @@
+"""``wallclock-timing``: ``time.time()`` used where a monotonic clock belongs.
+
+The paper's timing claims (Fig. 7/8: characterization throughput,
+inference latency) are duration measurements; ``time.time()`` is subject
+to NTP slew and clock steps, so durations must come from
+``time.perf_counter()`` (or ``time.monotonic()``).  Because almost every
+``time.time()`` in this code base is a duration anchor, the rule flags
+every call and asks genuine wall-clock timestamps (log records, database
+rows) to carry an inline suppression saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["WallclockTimingRule"]
+
+
+@register
+class WallclockTimingRule(Rule):
+    id = "wallclock-timing"
+    description = (
+        "time.time() is not monotonic; durations must use time.perf_counter()"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.dotted_name(node.func) == "time.time":
+                yield self.finding(
+                    module,
+                    node,
+                    "time.time() can jump under NTP adjustment: use "
+                    "time.perf_counter() for durations (suppress with a "
+                    "justification if this really is a wall-clock timestamp)",
+                )

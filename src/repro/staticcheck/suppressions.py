@@ -1,0 +1,72 @@
+"""Inline suppression comments.
+
+A finding is silenced by a comment of the form::
+
+    risky_call()  # staticcheck: ignore[rule-id]
+    other_call()  # staticcheck: ignore[rule-a, rule-b] - why it is fine
+
+on the finding's own line, or by a standalone comment line directly above
+it (useful when the flagged line has no room, e.g. module-level findings
+reported at line 1).  ``ignore[*]`` silences every rule on that line.
+Suppressions are deliberately line-scoped: there is no file- or
+block-level escape hatch, so every silenced finding stays visible next to
+the code it excuses.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_DIRECTIVE_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]*)\]")
+
+WILDCARD = "*"
+
+
+class SuppressionIndex:
+    """line number -> set of suppressed rule ids (or the ``*`` wildcard)."""
+
+    def __init__(self, by_line: dict[int, set[str]]):
+        self._by_line = by_line
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        rules = self._by_line.get(line)
+        return bool(rules) and (rule_id in rules or WILDCARD in rules)
+
+    def __bool__(self) -> bool:  # pragma: no cover - debugging aid
+        return bool(self._by_line)
+
+
+def _directive_rules(comment: str) -> set[str] | None:
+    m = _DIRECTIVE_RE.search(comment)
+    if not m:
+        return None
+    return {part.strip() for part in m.group(1).split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan real comment tokens (not string literals) for directives."""
+    by_line: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable files are reported as syntax errors by the engine;
+        # there is nothing to suppress in them.
+        return SuppressionIndex({})
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        rules = _directive_rules(tok.string)
+        if rules is None:
+            continue
+        line = tok.start[0]
+        by_line.setdefault(line, set()).update(rules)
+        # A standalone comment (nothing but whitespace before the hash)
+        # also covers the next line, for findings on statements that the
+        # comment introduces.
+        if tok.line[: tok.start[1]].strip() == "":
+            by_line.setdefault(line + 1, set()).update(rules)
+    return SuppressionIndex(by_line)

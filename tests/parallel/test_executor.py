@@ -4,7 +4,12 @@ import os
 
 import pytest
 
-from repro.parallel.executor import ExecutorConfig, effective_workers, parallel_map
+from repro.parallel.executor import (
+    ExecutorConfig,
+    effective_workers,
+    ensure_picklable,
+    parallel_map,
+)
 
 
 def square(x):
@@ -49,6 +54,40 @@ class TestProcesses:
         cfg = ExecutorConfig(backend="process", n_workers=2)
         out = parallel_map(square, range(8), config=cfg)
         assert out == [x * x for x in range(8)]
+
+
+class TestPicklabilityPreflight:
+    def test_lambda_rejected_before_pool_spawn(self):
+        cfg = ExecutorConfig(backend="process", n_workers=2)
+        with pytest.raises(ValueError, match="not picklable"):
+            parallel_map(lambda x: x, range(4), config=cfg)
+
+    def test_closure_rejected_with_callable_name(self):
+        def local_task(x):
+            return x + 1
+
+        cfg = ExecutorConfig(backend="process", n_workers=2)
+        with pytest.raises(ValueError, match="local_task"):
+            parallel_map(local_task, range(4), config=cfg)
+
+    def test_error_suggests_the_fix(self):
+        with pytest.raises(ValueError, match="module top level"):
+            ensure_picklable(lambda x: x)
+
+    def test_module_level_function_passes(self):
+        ensure_picklable(square)  # no raise
+
+    def test_thread_backend_accepts_closures(self):
+        def local_task(x):
+            return x + 1
+
+        cfg = ExecutorConfig(backend="thread", n_workers=2)
+        assert parallel_map(local_task, range(4), config=cfg) == [1, 2, 3, 4]
+
+    def test_serial_path_skips_preflight(self):
+        # one item -> serial fallback, lambda is fine there
+        cfg = ExecutorConfig(backend="process", n_workers=2)
+        assert parallel_map(lambda x: x * 2, [21], config=cfg) == [42]
 
 
 class TestConfig:

@@ -1,0 +1,164 @@
+"""Engine mechanics: suppressions, discovery, registry, reporters."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.staticcheck import (
+    Finding,
+    all_rules,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+    resolve_rules,
+)
+from repro.staticcheck.engine import SYNTAX_ERROR_ID, iter_python_files
+from repro.staticcheck.suppressions import parse_suppressions
+
+TRIGGER = "import time\nt0 = time.time()\n"
+
+
+class TestSuppressions:
+    def test_same_line_directive(self):
+        index = parse_suppressions("x = 1  # staticcheck: ignore[some-rule]\n")
+        assert index.covers(1, "some-rule")
+        assert not index.covers(1, "other-rule")
+        assert not index.covers(2, "some-rule")
+
+    def test_standalone_comment_covers_next_line(self):
+        index = parse_suppressions("# staticcheck: ignore[some-rule]\nx = 1\n")
+        assert index.covers(1, "some-rule")
+        assert index.covers(2, "some-rule")
+
+    def test_wildcard_covers_every_rule(self):
+        index = parse_suppressions("x = 1  # staticcheck: ignore[*]\n")
+        assert index.covers(1, "anything")
+
+    def test_multiple_rules_and_trailing_prose(self):
+        index = parse_suppressions("x = 1  # staticcheck: ignore[rule-a, rule-b] - because\n")
+        assert index.covers(1, "rule-a") and index.covers(1, "rule-b")
+
+    def test_directive_inside_string_literal_ignored(self):
+        index = parse_suppressions('x = "# staticcheck: ignore[some-rule]"\n')
+        assert not index.covers(1, "some-rule")
+
+    def test_trailing_comment_does_not_leak_to_next_line(self):
+        index = parse_suppressions("x = 1  # staticcheck: ignore[some-rule]\ny = 2\n")
+        assert not index.covers(2, "some-rule")
+
+
+class TestCheckSource:
+    def test_clean_source(self):
+        result = check_source("import time\nt0 = time.perf_counter()\n")
+        assert result.clean and result.files_checked == 1
+
+    def test_finding_location_and_str(self):
+        result = check_source(TRIGGER, path="mod.py")
+        (finding,) = result.findings
+        assert (finding.path, finding.line) == ("mod.py", 2)
+        assert str(finding).startswith("mod.py:2:")
+
+    def test_syntax_error_reported_not_raised(self):
+        result = check_source("def broken(:\n", path="bad.py")
+        (finding,) = result.findings
+        assert finding.rule_id == SYNTAX_ERROR_ID
+        assert not result.clean
+
+    def test_suppressed_findings_are_kept_separately(self):
+        src = "import time\nt0 = time.time()  # staticcheck: ignore[wallclock-timing] - stamp\n"
+        result = check_source(src)
+        assert result.clean
+        assert [f.rule_id for f in result.suppressed] == ["wallclock-timing"]
+
+    def test_findings_sorted_by_location(self):
+        src = textwrap.dedent(
+            """
+            import time
+            def _f(x, acc=[]):
+                return x == 0.5
+            t0 = time.time()
+            """
+        )
+        result = check_source(src)
+        assert [f.line for f in result.findings] == sorted(f.line for f in result.findings)
+        assert len(result.findings) == 3
+
+
+class TestCheckPaths:
+    def test_directory_walk_and_counts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "dirty.py").write_text(TRIGGER)
+        (tmp_path / "pkg" / "clean.py").write_text("X = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text(TRIGGER)
+        result = check_paths([tmp_path])
+        assert result.files_checked == 2
+        assert [f.rule_id for f in result.findings] == ["wallclock-timing"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_paths([tmp_path / "nope"])
+
+    def test_iter_python_files_dedupes(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("X = 1\n")
+        assert iter_python_files([f, tmp_path]) == [f]
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        expected = {
+            "unseeded-rng",
+            "wallclock-timing",
+            "float-equality",
+            "mutable-default",
+            "silent-except",
+            "unpicklable-task",
+            "export-drift",
+            "unordered-iteration",
+        }
+        assert expected <= set(all_rules())
+
+    def test_select_and_ignore(self):
+        only = resolve_rules(select=["float-equality"])
+        assert [r.id for r in only] == ["float-equality"]
+        rest = resolve_rules(ignore=["float-equality"])
+        assert "float-equality" not in [r.id for r in rest]
+
+    def test_unknown_rule_id(self):
+        with pytest.raises(KeyError):
+            resolve_rules(select=["no-such-rule"])
+
+    def test_every_rule_has_description(self):
+        for cls in all_rules().values():
+            assert cls.description
+
+
+class TestReporters:
+    def test_text_report_has_summary(self):
+        result = check_source(TRIGGER, path="mod.py")
+        text = render_text(result)
+        assert "mod.py:2:" in text
+        assert "1 finding (0 suppressed) in 1 file" in text
+
+    def test_json_report_round_trips(self):
+        result = check_source(TRIGGER, path="mod.py")
+        doc = json.loads(render_json(result))
+        assert doc["version"] == 1
+        assert doc["files_checked"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "wallclock-timing"
+        assert finding["suppressed"] is False
+
+    def test_finding_to_dict(self):
+        f = Finding(path="a.py", line=3, col=1, rule_id="x-y", message="m")
+        assert f.to_dict() == {
+            "path": "a.py",
+            "line": 3,
+            "col": 1,
+            "rule": "x-y",
+            "message": "m",
+            "suppressed": False,
+        }

@@ -1,0 +1,81 @@
+"""Baseline ratchet: tracked pre-existing findings that may only shrink.
+
+Adopting a new rule on a living code base usually surfaces findings that
+are real but not this PR's problem.  The baseline workflow keeps CI green
+without losing them:
+
+* ``--baseline write`` records every current finding (keyed by path, rule
+  and message — line numbers shift too easily to key on) into
+  ``.staticcheck-baseline.json``;
+* ``--baseline check`` re-runs the analysis, silences findings matched by
+  the baseline (reported separately as *baselined*), and fails on
+  anything new.  Baseline entries that no longer match are reported as
+  *resolved*: the ratchet — rewrite the baseline to lock them out, so the
+  tracked debt only ever decreases.
+
+Suppressions and the baseline are complementary: a suppression is a
+permanent, per-line, justified exemption; the baseline is temporary bulk
+debt with a paydown direction.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+
+from repro.staticcheck.engine import CheckResult
+from repro.staticcheck.findings import Finding
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule_id, finding.message)
+
+
+def write_baseline(result: CheckResult, path: str | Path) -> int:
+    """Record every active finding; returns the number of entries."""
+    entries = [
+        {"path": f.path, "rule": f.rule_id, "message": f.message}
+        for f in sorted(result.findings)
+    ]
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Multiset of baselined finding keys; raises OSError when unreadable."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a staticcheck baseline file")
+    counter: Counter = Counter()
+    for entry in doc.get("entries", []):
+        counter[(entry["path"], entry["rule"], entry["message"])] += 1
+    return counter
+
+
+def apply_baseline(result: CheckResult, baseline: Counter) -> tuple[CheckResult, int]:
+    """Split findings into new vs. baselined; count resolved entries.
+
+    Returns the rewritten result (``findings`` holds only new findings,
+    ``baselined`` the matched ones) and how many baseline entries no
+    longer occur — the ratchet credit.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in result.findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    resolved = sum(remaining.values())
+    rewritten = replace(result, findings=new, baselined=sorted(matched))
+    return rewritten, resolved

@@ -1,0 +1,124 @@
+"""Content-hash-keyed on-disk cache for the incremental engine.
+
+One JSON document (default ``.staticcheck-cache.json``) maps each linted
+file to its content hash, the hashes of its import-graph dependencies,
+its single-file findings (active and suppressed) and its
+:class:`~repro.staticcheck.project.summary.ModuleSummary`.  A warm entry
+is served — no parse, no single-file rules — when
+
+* the cache was written by the same schema and the same rule set
+  (``fingerprint``), and
+* the file's own hash matches, and
+* every recorded dependency still exists in the scanned set with the
+  recorded hash (a changed dependency conservatively re-analyzes its
+  dependents, keeping dependency-sensitive facts honest).
+
+Project rules always run — they are whole-program — but they consume the
+cached summaries, so a warm run re-parses only what changed.  Reference
+files (tests, benchmarks) are cached the same way, keyed on content hash
+alone.  A corrupt or incompatible cache file is discarded silently: the
+cache is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["AnalysisCache", "file_digest"]
+
+CACHE_SCHEMA = 2
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rule_fingerprint(rule_ids: list[str], project_rule_ids: list[str]) -> str:
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA, "rules": sorted(rule_ids), "project": sorted(project_rule_ids)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class AnalysisCache:
+    """Load-mutate-save wrapper around the cache document."""
+
+    def __init__(self, path: Path, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.files: dict[str, dict] = {}
+        self.references: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: str | Path, fingerprint: str) -> "AnalysisCache":
+        cache = cls(Path(path), fingerprint)
+        try:
+            doc = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            return cache
+        if doc.get("fingerprint") != fingerprint:
+            # Different rule set (or engine schema): nothing is reusable.
+            return cache
+        files = doc.get("files")
+        references = doc.get("references")
+        if isinstance(files, dict):
+            cache.files = files
+        if isinstance(references, dict):
+            cache.references = references
+        return cache
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, key: str, digest: str, current_digests: dict[str, str]) -> dict | None:
+        """A valid entry for ``key``, or None; counts the hit/miss."""
+        entry = self.files.get(key)
+        if (
+            isinstance(entry, dict)
+            and entry.get("hash") == digest
+            and all(
+                current_digests.get(dep_path) == dep_hash
+                for dep_path, dep_hash in entry.get("deps", {}).items()
+            )
+        ):
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def lookup_reference(self, key: str, digest: str) -> dict | None:
+        entry = self.references.get(key)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            return entry
+        return None
+
+    # -- persistence -------------------------------------------------------
+
+    def store(self, key: str, entry: dict) -> None:
+        self.files[key] = entry
+
+    def store_reference(self, key: str, entry: dict) -> None:
+        self.references[key] = entry
+
+    def save(self, *, keep_only: set[str] | None = None) -> None:
+        """Write the cache, dropping entries for files no longer scanned."""
+        files = self.files
+        references = self.references
+        if keep_only is not None:
+            files = {k: v for k, v in files.items() if k in keep_only}
+            references = {k: v for k, v in references.items() if k in keep_only}
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": files,
+            "references": references,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+        tmp.replace(self.path)

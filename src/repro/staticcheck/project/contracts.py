@@ -1,0 +1,95 @@
+"""``contract-drift``: call sites incompatible with the callee's signature.
+
+The dominant silent failure of retrain/serve pipelines is one side of an
+intra-package API changing while a caller keeps the old shape — the
+Feature Encoder grows a keyword the Classification Model never passes,
+or a fetcher drops a parameter the characterizer still supplies.  Python
+only surfaces these at call time, which for a cron-driven retrain
+workflow means days later.
+
+This rule walks the approximate call graph: every call site whose dotted
+callee resolves to a function, method or class defined in the project is
+checked against that definition's statically known signature —
+
+* more positional arguments than the callee accepts (no ``*args``),
+* a keyword the callee does not declare (no ``**kwargs``),
+* a required parameter that is neither passed positionally nor by
+  keyword.
+
+Calls using ``*`` / ``**`` splats skip the corresponding check, and
+callees whose contract is not statically knowable (decorated functions,
+classes with bases or non-dataclass decorators) are never checked, so
+every finding is a real incompatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["ContractDriftRule"]
+
+
+@register_project
+class ContractDriftRule(ProjectRule):
+    id = "contract-drift"
+    description = (
+        "call site incompatible with the statically known signature of an "
+        "intra-package callee"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        for caller_module, call, resolved in project.call_graph.edges:
+            sig = resolved.signature
+            if sig is None or not sig.checkable:
+                continue
+            path = project.summaries[caller_module].path
+            where = f"{resolved.summary.module}.{resolved.qualname}"
+            label = "class" if sig.kind == "class" else "function"
+            nargs, keywords = call["nargs"], call["keywords"]
+
+            if not call["star"] and not sig.vararg and nargs > len(sig.args):
+                yield self.finding(
+                    path,
+                    call["line"],
+                    f"{where}() takes at most {len(sig.args)} positional "
+                    f"argument{'s' if len(sig.args) != 1 else ''} but "
+                    f"{nargs} are passed; the {label} signature at "
+                    f"{resolved.summary.path}:{sig.line} has drifted from "
+                    "this call site",
+                    col=call["col"],
+                )
+                continue
+
+            if not sig.kwarg:
+                known = set(sig.args) | set(sig.kwonly)
+                for keyword in keywords:
+                    if keyword not in known:
+                        yield self.finding(
+                            path,
+                            call["line"],
+                            f"{where}() has no parameter {keyword!r} "
+                            f"(signature at {resolved.summary.path}:{sig.line}); "
+                            "the call site and the callee have drifted apart",
+                            col=call["col"],
+                        )
+
+            if not call["star"] and not call["kwstar"]:
+                missing = [
+                    name
+                    for position, name in enumerate(sig.args[: sig.n_required])
+                    if position >= nargs and name not in keywords
+                ]
+                missing += [name for name in sig.kwonly_required if name not in keywords]
+                if missing:
+                    yield self.finding(
+                        path,
+                        call["line"],
+                        f"{where}() is missing required argument"
+                        f"{'s' if len(missing) != 1 else ''} "
+                        f"{', '.join(repr(m) for m in missing)} "
+                        f"(signature at {resolved.summary.path}:{sig.line})",
+                        col=call["col"],
+                    )

@@ -1,0 +1,47 @@
+"""``import-cycle``: circular runtime imports inside the package.
+
+Import cycles make module initialization order-dependent: whichever
+module happens to be imported first sees a half-initialized partner, and
+the failure mode (AttributeError on a module object) appears far from
+the cause.  MCBound's layering (fetcher -> encoder -> model -> server)
+must stay acyclic for the retrain/serve workflows to be loadable from
+any entry point.
+
+Only *runtime* edges count: imports under ``if TYPE_CHECKING`` and
+imports inside function bodies are the sanctioned ways to break a cycle,
+so they are excluded from the graph.  One finding is reported per cycle,
+at the first cycle edge of its alphabetically first member.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["ImportCycleRule"]
+
+
+@register_project
+class ImportCycleRule(ProjectRule):
+    id = "import-cycle"
+    description = (
+        "circular runtime imports between package modules; break the cycle "
+        "or defer one edge into a function or TYPE_CHECKING block"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        graph = project.import_graph
+        for component in graph.runtime_cycles():
+            walk = graph.cycle_path(component)
+            anchor = component[0]
+            summary = project.summaries[anchor]
+            line = graph.edge_line(anchor, walk[1]) if len(walk) > 1 else 1
+            yield self.finding(
+                summary.path,
+                line,
+                f"circular import: {' -> '.join(walk)}; initialization "
+                "becomes order-dependent — move one edge into a function "
+                "body or a TYPE_CHECKING block",
+            )

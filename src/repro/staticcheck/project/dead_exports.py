@@ -1,0 +1,70 @@
+"""``dead-export``: ``__all__`` symbols nothing ever imports.
+
+``__all__`` is the package's advertised surface; an entry that no module
+in the package, no test, no benchmark and no example ever imports is
+either dead code or an API that silently fell out of use — both worth a
+decision rather than a slow drift (the single-file ``export-drift`` rule
+checks that ``__all__`` entries *exist*; this one checks that they are
+*alive*).
+
+Only symbols **defined** in the module are considered: package
+``__init__`` facades whose ``__all__`` re-lists names imported from
+submodules are exempt, because external consumers of the installed
+package — invisible to this analysis — are exactly who those facades
+serve.  Usage is collected from every scanned module plus the
+reference-only files (``--reference``), counting ``from m import name``,
+dotted ``m.name`` references and ``from m import *``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["DeadExportRule"]
+
+
+@register_project
+class DeadExportRule(ProjectRule):
+    id = "dead-export"
+    description = (
+        "__all__ symbol defined here but never imported by any package "
+        "module, test, benchmark or example"
+    )
+
+    @staticmethod
+    def _usage(project) -> tuple[set[str], set[str]]:
+        """(dotted symbol references, star-imported modules) project-wide."""
+        uses: set[str] = set()
+        stars: set[str] = set()
+        for summary in project.summaries.values():
+            uses.update(summary.imports.values())
+            uses.update(summary.symbol_refs)
+            stars.update(summary.star_imports)
+        for reference in project.reference_usage:
+            uses.update(reference["uses"])
+            stars.update(reference["stars"])
+        return uses, stars
+
+    def check(self, project) -> Iterator[Finding]:
+        uses, stars = self._usage(project)
+        for name in sorted(project.summaries):
+            summary = project.summaries[name]
+            if not summary.exports or name in stars:
+                continue
+            defined = set(summary.defined_names)
+            for symbol, line in summary.exports:
+                if symbol not in defined:
+                    continue  # re-export facade entry; see module docstring
+                target = f"{name}.{symbol}"
+                if any(u == target or u.startswith(target + ".") for u in uses):
+                    continue
+                yield self.finding(
+                    summary.path,
+                    line,
+                    f"__all__ exports {symbol!r} but nothing in the package, "
+                    "tests, benchmarks or examples imports it; delete it, "
+                    "use it, or drop it from __all__",
+                )

@@ -1,0 +1,142 @@
+"""``tainted-persistence``: non-replayable values flowing into saved state.
+
+Roofline labels are defined by ``op_j > op_r`` (paper §II); if anything
+on the path from counters to a persisted model or an evaluation report
+depends on an unseeded RNG draw or the wall clock, the retrain cron
+produces models that can never be reproduced and reports that can never
+be re-derived.  The single-file ``unseeded-rng`` / ``wallclock-timing``
+rules flag the draw itself; this rule follows the *value*: an expression
+reachable from a taint source (``random.random``, ``time.time``,
+unseeded ``default_rng()`` — see
+:data:`repro.staticcheck.project.summary.TAINT_SOURCES`) that is passed,
+possibly through functions defined in other modules, into a persistence
+or reporting sink.
+
+Propagation is a fixpoint over the summaries' function-taint facts: a
+function returning a tainted expression taints its callers' values, so a
+helper in ``fugaku/`` returning ``time.time()`` is caught when ``core/``
+persists its result — the cross-module drift no single-file rule can
+see.  Sinks default to the ``repro.mlcore.persistence`` save paths and
+``repro.evaluation.reporting`` writers (facade re-exports included) and
+are constructor-overridable for tests and other layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["TaintedPersistenceRule", "DEFAULT_SINKS"]
+
+#: Dotted names whose arguments must be replayable.  Matching happens
+#: after facade resolution, so ``repro.mlcore.save_model`` hits the
+#: ``repro.mlcore.persistence.save_model`` entry.
+DEFAULT_SINKS = frozenset(
+    {
+        "repro.mlcore.persistence.save_model",
+        "repro.mlcore.persistence.ModelRegistry.publish",
+        "repro.evaluation.reporting.results_to_csv",
+        "repro.evaluation.reporting.format_table",
+    }
+)
+
+_MAX_ROUNDS = 64
+
+
+@register_project
+class TaintedPersistenceRule(ProjectRule):
+    id = "tainted-persistence"
+    description = (
+        "value derived from unseeded RNG or the wall clock flows into a "
+        "persistence/report sink; persisted state must be replayable"
+    )
+
+    def __init__(self, sinks: frozenset[str] | None = None):
+        self.sinks = frozenset(sinks) if sinks is not None else DEFAULT_SINKS
+
+    # -- fixpoint over function taint --------------------------------------
+
+    def _tainted_functions(self, project) -> dict[str, str]:
+        """fully-qualified function -> human-readable taint origin."""
+        facts: dict[str, dict] = {}
+        for name in sorted(project.summaries):
+            summary = project.summaries[name]
+            for qual, fact in summary.function_taint.items():
+                facts[f"{name}.{qual}"] = fact
+
+        tainted: dict[str, str] = {
+            fq: fact["direct"] for fq, fact in facts.items() if fact["direct"]
+        }
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for fq, fact in facts.items():
+                if fq in tainted:
+                    continue
+                for callee in fact["returns_calls"]:
+                    resolved = project.resolve(callee)
+                    if resolved is None:
+                        continue
+                    callee_fq = f"{resolved.summary.module}.{resolved.qualname}"
+                    if callee_fq in tainted:
+                        tainted[fq] = tainted[callee_fq]
+                        changed = True
+                        break
+            if not changed:
+                break
+        return tainted
+
+    def _sink_name(self, project, callee: str) -> str | None:
+        """The sink this callee denotes, chasing facade re-exports."""
+        if callee in self.sinks:
+            return callee
+        resolved = project.resolve(callee)
+        if resolved is None:
+            return None
+        canonical = f"{resolved.summary.module}.{resolved.qualname}"
+        return canonical if canonical in self.sinks else None
+
+    def check(self, project) -> Iterator[Finding]:
+        tainted = self._tainted_functions(project)
+        for name in sorted(project.summaries):
+            summary = project.summaries[name]
+            for call in summary.calls:
+                sink = self._sink_name(project, call["callee"])
+                if sink is None:
+                    continue
+                for _position, kind, detail in call["targs"]:
+                    if kind == "source":
+                        yield self.finding(
+                            summary.path,
+                            call["line"],
+                            f"value derived from {detail}() reaches the "
+                            f"persistence sink {sink}(); seed the generator "
+                            "or use a replayable clock so saved state can "
+                            "be reproduced",
+                            col=call["col"],
+                        )
+                        break
+                    if kind == "call":
+                        resolved = project.resolve(detail)
+                        if resolved is None:
+                            continue
+                        fq = f"{resolved.summary.module}.{resolved.qualname}"
+                        origin = tainted.get(fq)
+                        if origin is None:
+                            continue
+                        boundary = (
+                            " across the module boundary"
+                            if resolved.summary.module != name
+                            else ""
+                        )
+                        yield self.finding(
+                            summary.path,
+                            call["line"],
+                            f"{fq}() returns a value tainted by {origin}() "
+                            f"which flows{boundary} into the persistence "
+                            f"sink {sink}(); persisted state must be "
+                            "replayable",
+                            col=call["col"],
+                        )
+                        break

@@ -1,12 +1,12 @@
-"""Render a :class:`CheckResult` as human text or machine JSON."""
+"""Render a :class:`CheckResult` as human text, machine JSON or SARIF."""
 
 from __future__ import annotations
 
 import json
 
-from repro.staticcheck.engine import CheckResult
+from repro.staticcheck.engine import CheckResult, CheckStats
 
-__all__ = ["render_text", "render_json", "render"]
+__all__ = ["render", "render_json", "render_statistics", "render_text"]
 
 
 def render_text(result: CheckResult) -> str:
@@ -17,6 +17,8 @@ def render_text(result: CheckResult) -> str:
         f" ({len(result.suppressed)} suppressed)"
         f" in {result.files_checked} file{'s' if result.files_checked != 1 else ''}"
     )
+    if result.baselined:
+        summary += f"; {len(result.baselined)} baselined"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -26,9 +28,36 @@ def render_json(result: CheckResult) -> str:
     return json.dumps(result.to_dict(), indent=2, sort_keys=True)
 
 
+def render_statistics(stats: CheckStats) -> str:
+    """Human-readable run statistics, one ``key: value`` per line.
+
+    Printed to stderr by the CLI so machine-readable stdout stays
+    byte-identical between cold and warm runs.
+    """
+    lines = [
+        "statistics:",
+        f"  files checked:    {stats.files_checked}",
+        f"  reference files:  {stats.reference_files}",
+        f"  cache hits:       {stats.cache_hits}",
+        f"  cache misses:     {stats.cache_misses}",
+        f"  parallel jobs:    {stats.jobs}",
+        f"  wall time:        {stats.wall_seconds:.3f}s",
+    ]
+    if stats.findings_per_rule:
+        lines.append("  findings by rule:")
+        width = max(len(rule) for rule in stats.findings_per_rule)
+        for rule in sorted(stats.findings_per_rule):
+            lines.append(f"    {rule:<{width}}  {stats.findings_per_rule[rule]}")
+    return "\n".join(lines)
+
+
 def render(result: CheckResult, fmt: str) -> str:
     if fmt == "text":
         return render_text(result)
     if fmt == "json":
         return render_json(result)
+    if fmt == "sarif":
+        from repro.staticcheck.sarif import render_sarif
+
+        return render_sarif(result)
     raise ValueError(f"unknown format {fmt!r}")

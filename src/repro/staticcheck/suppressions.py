@@ -7,10 +7,16 @@ A finding is silenced by a comment of the form::
 
 on the finding's own line, or by a standalone comment line directly above
 it (useful when the flagged line has no room, e.g. module-level findings
-reported at line 1).  ``ignore[*]`` silences every rule on that line.
-Suppressions are deliberately line-scoped: there is no file- or
-block-level escape hatch, so every silenced finding stays visible next to
-the code it excuses.
+reported at line 1).  A trailing directive on the *last* physical line of
+a multi-line statement also covers the statement's first line, so findings
+reported at the statement head can be silenced where the closing paren
+lives.  ``ignore[*]`` silences every rule on that line.  Suppressions are
+deliberately line-scoped: there is no file- or block-level escape hatch,
+so every silenced finding stays visible next to the code it excuses.
+
+The engine validates directives against the registered rule ids: a
+directive naming a rule that does not exist is reported as an
+``unknown-suppression`` finding instead of being silently accepted.
 """
 
 from __future__ import annotations
@@ -18,12 +24,45 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass, field
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["Directive", "SuppressionIndex", "parse_directives", "parse_suppressions"]
 
 _DIRECTIVE_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]*)\]")
 
 WILDCARD = "*"
+
+#: Token types that do not start a logical line.
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One ``# staticcheck: ignore[...]`` comment and the lines it covers.
+
+    ``line`` is where the comment physically sits (where validation errors
+    are reported); ``covers`` adds the extra lines the directive reaches —
+    the next line for standalone comments, the statement's first line for
+    trailing comments on a continuation line.
+    """
+
+    line: int
+    rule_ids: frozenset[str]
+    covers: tuple[int, ...] = field(default=())
+
+    @property
+    def all_lines(self) -> tuple[int, ...]:
+        return (self.line, *self.covers)
 
 
 class SuppressionIndex:
@@ -31,6 +70,14 @@ class SuppressionIndex:
 
     def __init__(self, by_line: dict[int, set[str]]):
         self._by_line = by_line
+
+    @classmethod
+    def from_directives(cls, directives: list[Directive]) -> "SuppressionIndex":
+        by_line: dict[int, set[str]] = {}
+        for directive in directives:
+            for line in directive.all_lines:
+                by_line.setdefault(line, set()).update(directive.rule_ids)
+        return cls(by_line)
 
     def covers(self, line: int, rule_id: str) -> bool:
         rules = self._by_line.get(line)
@@ -47,26 +94,42 @@ def _directive_rules(comment: str) -> set[str] | None:
     return {part.strip() for part in m.group(1).split(",") if part.strip()}
 
 
-def parse_suppressions(source: str) -> SuppressionIndex:
+def parse_directives(source: str) -> list[Directive]:
     """Scan real comment tokens (not string literals) for directives."""
-    by_line: dict[int, set[str]] = {}
+    directives: list[Directive] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
         # Unparseable files are reported as syntax errors by the engine;
         # there is nothing to suppress in them.
-        return SuppressionIndex({})
+        return []
+    logical_start: int | None = None
     for tok in tokens:
+        if tok.type == tokenize.NEWLINE:
+            logical_start = None
+        elif tok.type not in _NON_CODE_TOKENS and logical_start is None:
+            logical_start = tok.start[0]
         if tok.type != tokenize.COMMENT:
             continue
         rules = _directive_rules(tok.string)
         if rules is None:
             continue
         line = tok.start[0]
-        by_line.setdefault(line, set()).update(rules)
-        # A standalone comment (nothing but whitespace before the hash)
-        # also covers the next line, for findings on statements that the
-        # comment introduces.
+        covers: list[int] = []
         if tok.line[: tok.start[1]].strip() == "":
-            by_line.setdefault(line + 1, set()).update(rules)
-    return SuppressionIndex(by_line)
+            # A standalone comment (nothing but whitespace before the
+            # hash) also covers the next line, for findings on statements
+            # that the comment introduces.
+            covers.append(line + 1)
+        elif logical_start is not None and logical_start != line:
+            # A trailing comment on a continuation line also covers the
+            # statement's first line, where head-of-statement findings
+            # (calls spanning lines, multi-line defs) are reported.
+            covers.append(logical_start)
+        directives.append(Directive(line=line, rule_ids=frozenset(rules), covers=tuple(covers)))
+    return directives
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Build the line -> suppressed-rules index for one source string."""
+    return SuppressionIndex.from_directives(parse_directives(source))

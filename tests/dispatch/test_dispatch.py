@@ -15,6 +15,7 @@ from repro.dispatch.policies import (
     COMPLEMENTARY_SLOWDOWN,
     CONTENTION_SLOWDOWN,
     DURATION_CUT_BOOST,
+    POLICY_SOURCES,
     POWER_CUT_NORMAL,
 )
 from repro.fugaku.trace import JobTrace
@@ -86,6 +87,10 @@ class TestFrequencyPolicy:
     def test_unknown_source_rejected(self):
         with pytest.raises(ValueError):
             FrequencyPolicy("ai")
+
+    def test_every_documented_source_is_accepted(self):
+        for source in POLICY_SOURCES:
+            assert FrequencyPolicy(source).source == source
 
 
 class TestCoschedulePolicy:

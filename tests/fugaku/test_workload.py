@@ -8,10 +8,53 @@ from repro.fugaku.workload import (
     APR_1,
     DAY_SECONDS,
     FEB_1,
+    JobTemplate,
     WorkloadConfig,
     WorkloadGenerator,
     generate_trace,
 )
+
+
+def make_template(**overrides):
+    base = dict(
+        template_id=1,
+        user=None,
+        app=None,
+        job_name="job",
+        environment="env",
+        nodes_req=4,
+        cores_req=192,
+        freq_req_ghz=2.0,
+        op_mu0=-1.0,
+        op_slope=0.01,
+        job_sigma=0.05,
+        efficiency=0.5,
+        duration_mu=6.0,
+        duration_sigma=0.5,
+        power_node_w=150.0,
+        sve_fraction=0.4,
+        read_fraction=0.7,
+        birth_day=0.0,
+        death_day=120.0,
+        weight=1.0,
+    )
+    base.update(overrides)
+    return JobTemplate(**base)
+
+
+class TestJobTemplate:
+    def test_op_mu_drifts_linearly_from_birth(self):
+        t = make_template(op_mu0=-1.0, op_slope=0.01, birth_day=10.0)
+        assert t.op_mu_at(10.0) == pytest.approx(-1.0)
+        assert t.op_mu_at(30.0) == pytest.approx(-1.0 + 0.01 * 20)
+
+    def test_regime_changes_apply_only_once_reached(self):
+        t = make_template(
+            op_slope=0.0, change_days=(50.0,), change_offsets=(0.3,)
+        )
+        assert t.op_mu_at(49.0) == pytest.approx(-1.0)
+        assert t.op_mu_at(50.0) == pytest.approx(-0.7)
+        assert t.op_mu_at(119.0) == pytest.approx(-0.7)
 
 
 class TestConfig:

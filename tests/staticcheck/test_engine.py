@@ -14,8 +14,13 @@ from repro.staticcheck import (
     render_text,
     resolve_rules,
 )
-from repro.staticcheck.engine import SYNTAX_ERROR_ID, iter_python_files
-from repro.staticcheck.suppressions import parse_suppressions
+from repro.staticcheck.engine import (
+    SYNTAX_ERROR_ID,
+    UNKNOWN_SUPPRESSION_ID,
+    UsageError,
+    iter_python_files,
+)
+from repro.staticcheck.suppressions import parse_directives, parse_suppressions
 
 TRIGGER = "import time\nt0 = time.time()\n"
 
@@ -47,6 +52,60 @@ class TestSuppressions:
     def test_trailing_comment_does_not_leak_to_next_line(self):
         index = parse_suppressions("x = 1  # staticcheck: ignore[some-rule]\ny = 2\n")
         assert not index.covers(2, "some-rule")
+
+    def test_continuation_line_directive_covers_statement_start(self):
+        # The closing line of a multi-line statement is often the only
+        # place with room for a comment; the directive must still cover
+        # findings reported at the statement head.
+        src = "t0 = time.time(\n)  # staticcheck: ignore[wallclock-timing]\n"
+        index = parse_suppressions(src)
+        assert index.covers(1, "wallclock-timing")
+        assert index.covers(2, "wallclock-timing")
+
+    def test_continuation_directive_does_not_cover_unrelated_lines(self):
+        src = "a = 1\nt0 = f(\n    2)  # staticcheck: ignore[some-rule]\nb = 3\n"
+        index = parse_suppressions(src)
+        assert index.covers(2, "some-rule") and index.covers(3, "some-rule")
+        assert not index.covers(1, "some-rule")
+        assert not index.covers(4, "some-rule")
+
+    def test_multiple_rule_ids_with_odd_whitespace(self):
+        index = parse_suppressions("x = 1  # staticcheck: ignore[ rule-a ,rule-b,  rule-c ]\n")
+        for rule in ("rule-a", "rule-b", "rule-c"):
+            assert index.covers(1, rule)
+
+    def test_parse_directives_reports_locations(self):
+        (directive,) = parse_directives("x = 1  # staticcheck: ignore[rule-a, rule-b]\n")
+        assert directive.line == 1
+        assert directive.rule_ids == frozenset({"rule-a", "rule-b"})
+
+
+class TestUnknownSuppression:
+    def test_unknown_rule_id_in_directive_is_reported(self):
+        src = "x = 1  # staticcheck: ignore[no-such-rule]\n"
+        result = check_source(src)
+        (finding,) = result.findings
+        assert finding.rule_id == UNKNOWN_SUPPRESSION_ID
+        assert "no-such-rule" in finding.message
+        assert finding.line == 1
+
+    def test_known_rule_id_is_not_reported(self):
+        src = "import time\nt0 = time.time()  # staticcheck: ignore[wallclock-timing]\n"
+        result = check_source(src)
+        assert result.clean
+
+    def test_wildcard_is_not_reported(self):
+        assert check_source("x = 1  # staticcheck: ignore[*]\n").clean
+
+    def test_project_rule_ids_are_known(self):
+        assert check_source("x = 1  # staticcheck: ignore[dead-export]\n").clean
+
+    def test_mixed_known_and_unknown_ids(self):
+        src = "import time\nt0 = time.time()  # staticcheck: ignore[wallclock-timing, bogus-rule]\n"
+        result = check_source(src)
+        assert [f.rule_id for f in result.findings] == [UNKNOWN_SUPPRESSION_ID]
+        # the known id still suppresses its finding
+        assert [f.rule_id for f in result.suppressed] == ["wallclock-timing"]
 
 
 class TestCheckSource:
@@ -106,6 +165,45 @@ class TestCheckPaths:
         f.write_text("X = 1\n")
         assert iter_python_files([f, tmp_path]) == [f]
 
+    def test_existing_non_python_file_raises_usage_error(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("# not python\n")
+        with pytest.raises(UsageError):
+            iter_python_files([readme])
+
+    def test_non_python_file_inside_directory_is_still_skipped(self, tmp_path):
+        (tmp_path / "README.md").write_text("# not python\n")
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert [p.name for p in iter_python_files([tmp_path])] == ["ok.py"]
+
+
+class TestRelativeImports:
+    def test_relative_import_resolves_to_absolute_name(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (sub / "__init__.py").write_text("")
+        (sub / "mod.py").write_text(
+            "from . import sibling\n"
+            "from .sibling import helper\n"
+            "from ..other import thing as t\n"
+        )
+        from repro.staticcheck.project.summary import build_import_table, module_name_for_path
+        import ast
+
+        name, is_pkg = module_name_for_path(sub / "mod.py")
+        assert (name, is_pkg) == ("pkg.sub.mod", False)
+        table = build_import_table(ast.parse((sub / "mod.py").read_text()), name, is_pkg)
+        assert table["sibling"] == "pkg.sub.sibling"
+        assert table["helper"] == "pkg.sub.sibling.helper"
+        assert table["t"] == "pkg.other.thing"
+
+    def test_relative_import_above_package_root_is_skipped(self):
+        from repro.staticcheck.project.summary import resolve_relative
+
+        assert resolve_relative("pkg.mod", False, 3, "x") is None
+
 
 class TestRegistry:
     def test_all_eight_rules_registered(self):
@@ -146,8 +244,9 @@ class TestReporters:
     def test_json_report_round_trips(self):
         result = check_source(TRIGGER, path="mod.py")
         doc = json.loads(render_json(result))
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["files_checked"] == 1
+        assert doc["baselined"] == []
         (finding,) = doc["findings"]
         assert finding["rule"] == "wallclock-timing"
         assert finding["suppressed"] is False

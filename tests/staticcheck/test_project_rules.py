@@ -1,0 +1,416 @@
+"""Project rules: import-cycle, contract-drift, tainted-persistence,
+dead-export — each against a minimal multi-module fixture that triggers
+it and a neighbouring fixture that stays clean."""
+
+import textwrap
+
+from repro.staticcheck import check_paths
+from repro.staticcheck.project import (
+    ContractDriftRule,
+    DeadExportRule,
+    ImportCycleRule,
+    ProjectContext,
+    TaintedPersistenceRule,
+    build_summary,
+    module_name_for_path,
+)
+from repro.staticcheck.project.graph import ResolvedSymbol
+from repro.staticcheck.project.summary import TAINT_SOURCES
+from repro.staticcheck.project.taint import DEFAULT_SINKS
+
+
+def make_package(tmp_path, files, name="pkg"):
+    """Write a package tree; keys are paths relative to the package root."""
+    root = tmp_path / name
+    for rel, content in {"__init__.py": "", **files}.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        for parent in target.relative_to(root).parents:
+            init = root / parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        target.write_text(textwrap.dedent(content))
+    return root
+
+
+def project_findings(root, rule, reference_paths=()):
+    result = check_paths(
+        [root], rules=[], project_rules=[rule], reference_paths=reference_paths
+    )
+    return result
+
+
+class TestImportCycle:
+    def test_two_module_cycle_is_reported_once(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "a.py": "import pkg.b\n",
+                "b.py": "from pkg import a\n",
+            },
+        )
+        result = project_findings(root, ImportCycleRule())
+        (finding,) = result.findings
+        assert finding.rule_id == "import-cycle"
+        assert "pkg.a" in finding.message and "pkg.b" in finding.message
+        assert finding.path.endswith("a.py")
+
+    def test_three_module_cycle_names_the_walk(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "a.py": "import pkg.b\n",
+                "b.py": "import pkg.c\n",
+                "c.py": "import pkg.a\n",
+            },
+        )
+        (finding,) = project_findings(root, ImportCycleRule()).findings
+        assert finding.message.count("->") == 3
+
+    def test_type_checking_and_function_level_imports_break_cycles(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "a.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    import pkg.b\n"
+                ),
+                "b.py": "def lazy():\n    import pkg.a\n    return pkg.a\n",
+            },
+        )
+        assert project_findings(root, ImportCycleRule()).clean
+
+    def test_acyclic_chain_is_clean(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {"a.py": "import pkg.b\n", "b.py": "import pkg.c\n", "c.py": "X = 1\n"},
+        )
+        assert project_findings(root, ImportCycleRule()).clean
+
+
+class TestContractDrift:
+    def test_unknown_keyword_is_reported(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "encoder.py": "def encode(tokens, dims=384):\n    return tokens, dims\n",
+                "model.py": (
+                    "from pkg.encoder import encode\n"
+                    "def fit():\n"
+                    "    return encode([1], dims=384, normalise=True)\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, ContractDriftRule()).findings
+        assert finding.rule_id == "contract-drift"
+        assert "'normalise'" in finding.message
+        assert finding.path.endswith("model.py")
+
+    def test_too_many_positional_arguments(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "encoder.py": "def encode(tokens):\n    return tokens\n",
+                "model.py": (
+                    "import pkg.encoder\n"
+                    "def fit():\n"
+                    "    return pkg.encoder.encode([1], 384)\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, ContractDriftRule()).findings
+        assert "at most 1 positional argument" in finding.message
+
+    def test_missing_required_argument(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "encoder.py": "def encode(tokens, dims):\n    return tokens, dims\n",
+                "model.py": "from pkg.encoder import encode\nresult = encode([1])\n",
+            },
+        )
+        (finding,) = project_findings(root, ContractDriftRule()).findings
+        assert "'dims'" in finding.message
+
+    def test_dataclass_constructor_contract(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "config.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class Settings:\n"
+                    "    dims: int\n"
+                    "    alpha: float = 0.5\n"
+                ),
+                "main.py": (
+                    "from pkg.config import Settings\n"
+                    "s = Settings(dims=384, beta=2.0)\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, ContractDriftRule()).findings
+        assert "'beta'" in finding.message
+
+    def test_facade_reexport_resolves_to_definition(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "__init__.py": "from pkg.encoder import encode\n",
+                "encoder.py": "def encode(tokens):\n    return tokens\n",
+                "model.py": "import pkg\nresult = pkg.encode([1], 2)\n",
+            },
+        )
+        (finding,) = project_findings(root, ContractDriftRule()).findings
+        assert "pkg.encoder.encode" in finding.message
+
+    def test_compatible_calls_and_escape_hatches_stay_clean(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "encoder.py": (
+                    "def encode(tokens, dims=384):\n    return tokens, dims\n"
+                    "def flex(*args, **kwargs):\n    return args, kwargs\n"
+                    "import functools\n"
+                    "@functools.lru_cache\n"
+                    "def cached(x):\n    return x\n"
+                ),
+                "model.py": (
+                    "from pkg.encoder import cached, encode, flex\n"
+                    "a = encode([1])\n"
+                    "b = encode([1], dims=128)\n"
+                    "c = flex(1, 2, 3, anything=True)\n"
+                    "args = [[1], 9]\n"
+                    "d = encode(*args)\n"
+                    "e = cached(1, 2, 3)\n"  # decorated: contract unknown, skipped
+                ),
+            },
+        )
+        assert project_findings(root, ContractDriftRule()).clean
+
+
+class TestTaintedPersistence:
+    SINKS = frozenset({"pkg.store.save_model"})
+
+    def test_cross_module_taint_reaches_sink(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "helpers.py": "import time\ndef stamp():\n    return time.time()\n",
+                "store.py": "def save_model(model, tag):\n    return model, tag\n",
+                "train.py": (
+                    "from pkg.helpers import stamp\n"
+                    "from pkg.store import save_model\n"
+                    "def run(model):\n"
+                    "    save_model(model, stamp())\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, TaintedPersistenceRule(sinks=self.SINKS)).findings
+        assert finding.rule_id == "tainted-persistence"
+        assert "time.time" in finding.message
+        assert "module boundary" in finding.message
+        assert finding.path.endswith("train.py")
+
+    def test_direct_source_argument_is_reported(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "store.py": "def save_model(model, tag):\n    return model, tag\n",
+                "train.py": (
+                    "import random\n"
+                    "from pkg.store import save_model\n"
+                    "def run(model):\n"
+                    "    save_model(model, random.random())\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, TaintedPersistenceRule(sinks=self.SINKS)).findings
+        assert "random.random" in finding.message
+
+    def test_taint_propagates_through_assignment_and_two_hops(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "clock.py": "import time\ndef now():\n    return time.time()\n",
+                "meta.py": "from pkg.clock import now\ndef run_id():\n    return now()\n",
+                "store.py": "def save_model(model, tag):\n    return model, tag\n",
+                "train.py": (
+                    "from pkg.meta import run_id\n"
+                    "from pkg.store import save_model\n"
+                    "def run(model):\n"
+                    "    tag = run_id()\n"
+                    "    save_model(model, tag)\n"
+                ),
+            },
+        )
+        (finding,) = project_findings(root, TaintedPersistenceRule(sinks=self.SINKS)).findings
+        assert "pkg.meta.run_id" in finding.message and "time.time" in finding.message
+
+    def test_seeded_and_constant_values_stay_clean(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "helpers.py": (
+                    "def stamp(seed):\n    return f'run-{seed}'\n"
+                ),
+                "store.py": "def save_model(model, tag):\n    return model, tag\n",
+                "train.py": (
+                    "from pkg.helpers import stamp\n"
+                    "from pkg.store import save_model\n"
+                    "def run(model):\n"
+                    "    save_model(model, stamp(42))\n"
+                ),
+            },
+        )
+        assert project_findings(root, TaintedPersistenceRule(sinks=self.SINKS)).clean
+
+    def test_default_sinks_cover_the_repro_persistence_layer(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "mlcore/persistence.py": "def save_model(model, path):\n    return path\n",
+                "core/train.py": (
+                    "import time\n"
+                    "from repro.mlcore.persistence import save_model\n"
+                    "def retrain(model):\n"
+                    "    save_model(model, f'model-{time.time()}')\n"
+                ),
+            },
+            name="repro",
+        )
+        (finding,) = project_findings(root, TaintedPersistenceRule()).findings
+        assert "repro.mlcore.persistence.save_model" in finding.message
+        assert "repro.mlcore.persistence.save_model" in DEFAULT_SINKS
+        assert "time.time" in TAINT_SOURCES
+
+
+class TestDeadExport:
+    def test_unimported_definition_is_reported_at_its_all_entry(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "util.py": (
+                    "__all__ = [\n    'used',\n    'unused',\n]\n"
+                    "def used():\n    return 1\n"
+                    "def unused():\n    return 2\n"
+                ),
+                "main.py": "from pkg.util import used\nX = used()\n",
+            },
+        )
+        (finding,) = project_findings(root, DeadExportRule()).findings
+        assert finding.rule_id == "dead-export"
+        assert "'unused'" in finding.message
+        assert finding.line == 3  # the list element, not the assignment
+        assert finding.path.endswith("util.py")
+
+    def test_reference_usage_keeps_a_symbol_alive(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "util.py": "__all__ = ['only_tests_use_me']\ndef only_tests_use_me():\n    return 1\n",
+            },
+        )
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_util.py").write_text(
+            "from pkg.util import only_tests_use_me\n"
+        )
+        assert project_findings(root, DeadExportRule()).findings  # dead without references
+        assert project_findings(root, DeadExportRule(), reference_paths=[tests_dir]).clean
+
+    def test_facade_reexports_are_exempt(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "__init__.py": "from pkg.util import helper\n__all__ = ['helper']\n",
+                "util.py": "__all__ = ['helper']\ndef helper():\n    return 1\n",
+            },
+        )
+        # __init__'s entry is a re-export (exempt); util's definition is
+        # kept alive by the facade's own import.
+        assert project_findings(root, DeadExportRule()).clean
+
+    def test_star_import_keeps_every_export_alive(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "util.py": "__all__ = ['a', 'b']\ndef a():\n    return 1\ndef b():\n    return 2\n",
+                "main.py": "from pkg.util import *\n",
+            },
+        )
+        assert project_findings(root, DeadExportRule()).clean
+
+    def test_dotted_attribute_reference_counts_as_usage(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "util.py": "__all__ = ['CONST']\nCONST = 7\n",
+                "main.py": "import pkg.util\nX = pkg.util.CONST\n",
+            },
+        )
+        assert project_findings(root, DeadExportRule()).clean
+
+    def test_project_finding_honours_inline_suppression(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "util.py": (
+                    "__all__ = ['plugin_hook']  # staticcheck: ignore[dead-export] - loaded by name\n"
+                    "def plugin_hook():\n    return 1\n"
+                ),
+            },
+        )
+        result = project_findings(root, DeadExportRule())
+        assert result.clean
+        assert [f.rule_id for f in result.suppressed] == ["dead-export"]
+
+
+class TestProjectContext:
+    def test_facade_alias_chasing_and_owning_module(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "__init__.py": "from pkg.inner import thing\n",
+                "inner.py": "def thing(x):\n    return x\n",
+            },
+        )
+        files = sorted(root.rglob("*.py"))
+        summaries = {}
+        for f in files:
+            name, is_pkg = module_name_for_path(f)
+            import ast
+
+            summaries[name] = build_summary(str(f), f.read_text(), ast.parse(f.read_text()), name, is_pkg)
+        project = ProjectContext(summaries=summaries)
+        resolved = project.resolve("pkg.thing")
+        assert isinstance(resolved, ResolvedSymbol)
+        assert resolved.summary.module == "pkg.inner"
+        assert resolved.qualname == "thing"
+        assert resolved.signature is not None and resolved.signature.args == ["x"]
+        assert project.owning_module("pkg.inner.thing") == "pkg.inner"
+
+    def test_import_graph_edges_and_call_graph(self, tmp_path):
+        root = make_package(
+            tmp_path,
+            {
+                "a.py": "import pkg.b\npkg.b.run(1)\n",
+                "b.py": "def run(x):\n    return x\n",
+            },
+        )
+        files = sorted(root.rglob("*.py"))
+        summaries = {}
+        for f in files:
+            name, is_pkg = module_name_for_path(f)
+            import ast
+
+            summaries[name] = build_summary(str(f), f.read_text(), ast.parse(f.read_text()), name, is_pkg)
+        project = ProjectContext(summaries=summaries)
+        assert project.import_graph.runtime_successors("pkg.a") == ["pkg.b"]
+        assert project.import_graph.runtime_cycles() == []
+        (edge,) = project.call_graph.calls_into("pkg.b")
+        caller, call, resolved = edge
+        assert caller == "pkg.a"
+        assert call["nargs"] == 1
+        assert resolved.qualname == "run"

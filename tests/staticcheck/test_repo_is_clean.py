@@ -3,15 +3,24 @@
 This is the enforcement point for the correctness-tooling layer: any new
 unseeded RNG, wall-clock duration, float-equality boundary, silent
 handler, unpicklable parallel task, export drift or unordered iteration
-in ``src/repro`` fails the build here, exactly as
-``python -m repro.staticcheck src/repro`` would in CI.
+in ``src/repro`` fails the build here — and so does any cross-module
+regression the project rules see: circular runtime imports, call sites
+drifting from intra-package signatures, tainted values flowing into
+persistence, or ``__all__`` exports nothing imports.  Exactly as
+``python -m repro.staticcheck`` would in CI.
 """
 
 from pathlib import Path
 
-from repro.staticcheck import check_paths
+from repro.staticcheck import check_paths, resolve_project_rules
 
-REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPO_SRC = REPO_ROOT / "src" / "repro"
+
+#: Usage in these trees keeps a public symbol alive for ``dead-export``.
+REFERENCE_DIRS = [
+    d for d in (REPO_ROOT / "tests", REPO_ROOT / "benchmarks", REPO_ROOT / "examples") if d.is_dir()
+]
 
 
 def test_repo_src_exists():
@@ -19,13 +28,23 @@ def test_repo_src_exists():
 
 
 def test_repo_is_clean():
-    result = check_paths([REPO_SRC])
+    result = check_paths([REPO_SRC], reference_paths=REFERENCE_DIRS)
     assert result.files_checked > 50  # the walk really saw the code base
     details = "\n".join(str(f) for f in result.findings)
     assert result.clean, (
         f"staticcheck found {len(result.findings)} unsuppressed finding(s); "
         f"fix them or add a justified '# staticcheck: ignore[rule]' comment:\n{details}"
     )
+
+
+def test_project_rules_were_active():
+    """The gate runs the whole-program layer, not just single-file rules."""
+    assert {r.id for r in resolve_project_rules()} >= {
+        "import-cycle",
+        "contract-drift",
+        "tainted-persistence",
+        "dead-export",
+    }
 
 
 def test_seeded_violation_is_caught(tmp_path):

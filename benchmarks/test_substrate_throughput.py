@@ -2,7 +2,9 @@
 
 Not a paper figure — operational context for the pipeline: the paper
 reports ~1 us/job characterization and ~2 ms/job encoding; these benches
-record where this implementation stands on the same units.
+record where this implementation stands on the same units.  The
+sanitizer on/off pairs at the bottom keep the cost of ``REPRO_SANITIZE=1``
+instrumentation visible release over release.
 """
 
 import numpy as np
@@ -10,6 +12,8 @@ import pytest
 
 from repro.core import DataFetcher, JobCharacterizer, load_trace_into_db
 from repro.fugaku.workload import DAY_SECONDS
+from repro.roofline import Roofline
+from repro.sanitizers import new_lock, sanitize
 
 
 @pytest.fixture(scope="module")
@@ -44,3 +48,56 @@ def test_single_job_characterization(benchmark, trace, characterizer):
     record = trace.row(0).as_dict()
     label = benchmark(characterizer.labels_from_records, [record])
     assert label[0] in (0, 1)
+
+
+# -- sanitizer overhead -------------------------------------------------------
+
+
+def _lock_churn(lock, rounds=200):
+    for _ in range(rounds):
+        with lock:
+            pass
+
+
+def test_tracked_lock_overhead_sanitizers_off(benchmark, monkeypatch):
+    """Baseline: a TrackedLock with sanitizing disabled (one flag check)."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    lock = new_lock("bench.lock.off")
+    benchmark(_lock_churn, lock)
+
+
+def test_tracked_lock_overhead_sanitizers_on(benchmark, monkeypatch):
+    """Same churn with the lock-order graph armed."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    lock = new_lock("bench.lock.on")
+
+    def body():
+        with sanitize():
+            _lock_churn(lock)
+
+    benchmark(body)
+
+
+def test_numeric_hot_path_sanitizers_off(benchmark, monkeypatch):
+    """Roofline efficiency sweep with the numeric traps disabled."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    roofline = Roofline(peak_gflops=3379.2, peak_membw_gbs=1024.0)
+    op = np.linspace(0.01, 10.0, 4096)
+    perf = np.linspace(1.0, 3000.0, 4096)
+    out = benchmark(roofline.efficiency, op, perf)
+    assert np.all(np.isfinite(out))
+
+
+def test_numeric_hot_path_sanitizers_on(benchmark, monkeypatch):
+    """Same sweep instrumented: errstate traps + finiteness checks."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    roofline = Roofline(peak_gflops=3379.2, peak_membw_gbs=1024.0)
+    op = np.linspace(0.01, 10.0, 4096)
+    perf = np.linspace(1.0, 3000.0, 4096)
+
+    def body():
+        with sanitize():
+            return roofline.efficiency(op, perf)
+
+    out = benchmark(body)
+    assert np.all(np.isfinite(out))

@@ -20,6 +20,7 @@ from repro.core.job_characterizer import JobCharacterizer
 from repro.core.registry import ModelStore
 from repro.mlcore.base import NotFittedError
 from repro.nlp.embedder import SentenceEmbedder
+from repro.sanitizers import StateGuard, check_finite, new_lock
 from repro.storage.engine import Database
 
 __all__ = ["MCBound"]
@@ -65,6 +66,11 @@ class MCBound:
         self.model: ClassificationModel | None = None
         #: job_id -> ground-truth label, filled by characterization passes
         self.label_cache: dict[int, int] = {}
+        # One lock serializes every cross-thread write to model/label_cache:
+        # the serving path (per-request threads) races the Training Workflow
+        # over both.  Reentrant because train() characterizes under it too.
+        self._state_lock = new_lock("repro.core.MCBound.state")
+        self._state_guard = StateGuard("repro.core.MCBound.state")
 
     # -- characterization ---------------------------------------------------------
 
@@ -80,15 +86,20 @@ class MCBound:
     def _characterize_records(self, records: list[dict]):
         job_ids = np.array([r["job_id"] for r in records], dtype=np.int64)
         labels = np.empty(len(records), dtype=np.int64)
-        fresh = [i for i, jid in enumerate(job_ids.tolist()) if jid not in self.label_cache]
+        with self._state_lock:
+            cached = dict(self.label_cache)
+        fresh = [i for i, jid in enumerate(job_ids.tolist()) if jid not in cached]
         for i, jid in enumerate(job_ids.tolist()):
-            if jid in self.label_cache:
-                labels[i] = self.label_cache[jid]
+            if jid in cached:
+                labels[i] = cached[jid]
         if fresh:
             new_labels = self.characterizer.labels_from_records(records[i] for i in fresh)
+            updates = {}
             for k, i in enumerate(fresh):
                 labels[i] = new_labels[k]
-                self.label_cache[int(job_ids[i])] = int(new_labels[k])
+                updates[int(job_ids[i])] = int(new_labels[k])
+            with self._state_lock, self._state_guard.writing():
+                self.label_cache.update(updates)
         return job_ids, labels
 
     # -- training -----------------------------------------------------------------------
@@ -111,9 +122,13 @@ class MCBound:
         if self.config.use_idf:
             self.encoder.partial_fit_idf(records)
         X = self.encoder.encode(records)
+        check_finite("MCBound.train.encodings", X)
         model = ClassificationModel(self.config.algorithm, **self.config.model_params)
         model.training(X, labels)
-        self.model = model
+        # Fit happened outside the critical section; only the publish of
+        # the new model instance happens under the lock.
+        with self._state_lock, self._state_guard.writing():
+            self.model = model
         version = None
         if self.store is not None:
             version = self.store.publish(
@@ -132,14 +147,20 @@ class MCBound:
         }
 
     def _require_model(self) -> ClassificationModel:
-        if self.model is None:
+        with self._state_lock, self._state_guard.reading():
+            model = self.model
+        if model is None:
             if self.store is not None and self.store.latest_version is not None:
-                self.model, _ = self.store.load()
+                loaded, _ = self.store.load()  # disk I/O stays outside the lock
+                with self._state_lock, self._state_guard.writing():
+                    if self.model is None:
+                        self.model = loaded
+                    model = self.model
             else:
                 raise NotFittedError(
                     "MCBound has no trained model; run the Training Workflow first"
                 )
-        return self.model
+        return model
 
     # -- inference ------------------------------------------------------------------------
 
@@ -149,6 +170,7 @@ class MCBound:
         if not records:
             return np.empty(0, dtype=np.int64)
         X = self.encoder.encode(records)
+        check_finite("MCBound.predict_records.encodings", X)
         return np.asarray(model.inference(X), dtype=np.int64)
 
     def predict_window(self, start_time: float, end_time: float):

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mlcore.base import check_is_fitted, check_X_y, encode_labels
+from repro.sanitizers import numeric_trap
 
 __all__ = ["GaussianNBClassifier"]
 
@@ -56,12 +57,13 @@ class GaussianNBClassifier:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.theta_.shape[1]:
             raise ValueError("X has the wrong shape for this model")
-        jll = np.log(self.class_prior_)[None, :] - 0.5 * np.sum(
-            np.log(2.0 * np.pi * self.var_), axis=1
-        )[None, :]
-        # broadcast: (n, 1, d) - (k, d) -> (n, k, d)
-        diff = X[:, None, :] - self.theta_[None, :, :]
-        jll = jll - 0.5 * np.sum(diff * diff / self.var_[None, :, :], axis=2)
+        with numeric_trap("GaussianNB.joint_log_likelihood"):
+            jll = np.log(self.class_prior_)[None, :] - 0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_), axis=1
+            )[None, :]
+            # broadcast: (n, 1, d) - (k, d) -> (n, k, d)
+            diff = X[:, None, :] - self.theta_[None, :, :]
+            jll = jll - 0.5 * np.sum(diff * diff / self.var_[None, :, :], axis=2)
         return jll
 
     def predict_proba(self, X) -> np.ndarray:

@@ -11,6 +11,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.sanitizers import new_lock
+
 __all__ = ["SharedArray"]
 
 
@@ -21,6 +23,12 @@ class SharedArray:
         self._shm = shm
         self._owner = owner
         self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        # The buffer is handed between the submitting thread and executor
+        # callbacks; serialize teardown so a concurrent close/unlink pair
+        # cannot double-free the mapping or yank it under a live view.
+        self._lifecycle = new_lock(f"repro.parallel.SharedArray.{shm.name}")
+        self._closed = False
+        self._unlinked = False
 
     # -- constructors ---------------------------------------------------------
 
@@ -71,13 +79,21 @@ class SharedArray:
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Detach this process's mapping."""
-        self.array = None
-        self._shm.close()
+        """Detach this process's mapping (idempotent, thread-safe)."""
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            self.array = None
+            self._shm.close()
 
     def unlink(self) -> None:
-        """Destroy the segment (owner only; idempotent on some platforms)."""
-        self._shm.unlink()
+        """Destroy the segment (owner only; idempotent, thread-safe)."""
+        with self._lifecycle:
+            if self._unlinked:
+                return
+            self._unlinked = True
+            self._shm.unlink()
 
     def __enter__(self) -> "SharedArray":
         return self

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sanitizers import check_finite, numeric_trap
+
 __all__ = ["Roofline"]
 
 
@@ -49,7 +51,9 @@ class Roofline:
         op = np.asarray(op, dtype=np.float64)
         if np.any(op < 0):
             raise ValueError("operational intensity must be non-negative")
-        out = np.minimum(self.peak_gflops, self.peak_membw_gbs * op)
+        with numeric_trap("Roofline.attainable"):
+            out = np.minimum(self.peak_gflops, self.peak_membw_gbs * op)
+        check_finite("Roofline.attainable", out)
         return out if out.ndim else float(out)
 
     def is_compute_bound(self, op):
@@ -66,5 +70,7 @@ class Roofline:
         """Fraction of the attainable performance actually achieved."""
         perf = np.asarray(performance_gflops, dtype=np.float64)
         att = np.asarray(self.attainable(op), dtype=np.float64)
-        out = np.divide(perf, att, out=np.zeros_like(perf), where=att > 0)
+        with numeric_trap("Roofline.efficiency"):
+            out = np.divide(perf, att, out=np.zeros_like(perf), where=att > 0)
+        check_finite("Roofline.efficiency", out)
         return out if out.ndim else float(out)

@@ -28,7 +28,7 @@ from pathlib import Path
 
 __all__ = ["AnalysisCache", "file_digest"]
 
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 
 
 def file_digest(data: bytes) -> str:

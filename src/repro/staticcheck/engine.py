@@ -56,6 +56,9 @@ SYNTAX_ERROR_ID = "syntax-error"
 #: Rule id for ``ignore[...]`` directives naming a rule that does not exist.
 UNKNOWN_SUPPRESSION_ID = "unknown-suppression"
 
+#: Rule id for ``ignore[...]`` directives that no longer silence anything.
+UNUSED_SUPPRESSION_ID = "unused-suppression"
+
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
 
 
@@ -153,7 +156,7 @@ class CheckResult:
 def _known_rule_ids(extra: Iterable[str] = ()) -> set[str]:
     known = set(all_rules()) | set(all_project_rules())
     known.update(extra)
-    known.update((SYNTAX_ERROR_ID, UNKNOWN_SUPPRESSION_ID, WILDCARD))
+    known.update((SYNTAX_ERROR_ID, UNKNOWN_SUPPRESSION_ID, UNUSED_SUPPRESSION_ID, WILDCARD))
     return known
 
 
@@ -376,6 +379,67 @@ def _run_project_rules(
     return active, suppressed
 
 
+def _unused_suppression_findings(
+    directives_by_path: dict[str, list[Directive]],
+    suppressed: list[Finding],
+    ran_ids: set[str],
+    full_run: bool,
+) -> list[Finding]:
+    """Flag ignore[...] directives that silenced nothing this run.
+
+    A directive is *used* when some finding on a line it covers was
+    suppressed under one of its rule ids.  Per-rule checks only apply to
+    rules that actually ran (an ``ignore[unseeded-rng]`` is not stale
+    just because ``--select`` skipped that rule), and the ``ignore[*]``
+    wildcard is only judged on full-registry runs for the same reason.
+    Unknown rule ids are already reported as ``unknown-suppression`` and
+    are skipped here.
+    """
+    hits: dict[str, set[tuple[str, int]]] = {}
+    lines_hit: dict[str, set[int]] = {}
+    for finding in suppressed:
+        hits.setdefault(finding.path, set()).add((finding.rule_id, finding.line))
+        lines_hit.setdefault(finding.path, set()).add(finding.line)
+    findings: list[Finding] = []
+    for path in sorted(directives_by_path):
+        path_hits = hits.get(path, set())
+        path_lines = lines_hit.get(path, set())
+        for directive in directives_by_path[path]:
+            if WILDCARD in directive.rule_ids:
+                if full_run and not any(line in path_lines for line in directive.all_lines):
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=directive.line,
+                            col=0,
+                            rule_id=UNUSED_SUPPRESSION_ID,
+                            message=(
+                                "ignore[*] suppresses nothing on this line; "
+                                "remove the stale directive"
+                            ),
+                        )
+                    )
+                continue
+            for rule_id in sorted(directive.rule_ids):
+                if rule_id not in ran_ids:
+                    continue
+                if not any((rule_id, line) in path_hits for line in directive.all_lines):
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=directive.line,
+                            col=0,
+                            rule_id=UNUSED_SUPPRESSION_ID,
+                            message=(
+                                f"ignore[{rule_id}] suppresses nothing on this "
+                                "line; the finding it silenced is gone — remove "
+                                "the stale directive"
+                            ),
+                        )
+                    )
+    return findings
+
+
 def check_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] | None = None,
@@ -470,20 +534,18 @@ def check_paths(
 
     summaries: dict[str, ModuleSummary] = {}
     indexes: dict[str, SuppressionIndex] = {}
+    directives_by_path: dict[str, list[Directive]] = {}
     for key in file_keys:
         summary_doc = entries[key].get("summary")
         if summary_doc is None:
             continue
         summary = ModuleSummary.from_dict(summary_doc)
         summaries[summary.module] = summary
-        indexes[key] = SuppressionIndex.from_directives(
-            [
-                Directive(
-                    line=d["line"], rule_ids=frozenset(d["rules"]), covers=tuple(d["covers"])
-                )
-                for d in summary.directives
-            ]
-        )
+        directives_by_path[key] = [
+            Directive(line=d["line"], rule_ids=frozenset(d["rules"]), covers=tuple(d["covers"]))
+            for d in summary.directives
+        ]
+        indexes[key] = SuppressionIndex.from_directives(directives_by_path[key])
 
     findings = [
         _finding_from_dict(doc) for key in file_keys for doc in entries[key]["findings"]
@@ -497,6 +559,33 @@ def check_paths(
         )
         findings.extend(project_active)
         suppressed.extend(project_suppressed)
+
+    # -- stale-suppression audit (after every layer has had its say) ---------
+    ran_ids = set(rule_ids) | {r.id for r in project_rules} | {UNKNOWN_SUPPRESSION_ID}
+    full_run = registry_backed and set(rule_ids) == set(all_rules()) and {
+        r.id for r in project_rules
+    } == set(all_project_rules())
+    for unused in _unused_suppression_findings(directives_by_path, suppressed, ran_ids, full_run):
+        # Only an *explicit* ignore[unused-suppression] silences the audit:
+        # letting ignore[*] swallow its own staleness report would make
+        # stale wildcards impossible to surface.
+        explicit = any(
+            UNUSED_SUPPRESSION_ID in directive.rule_ids and unused.line in directive.all_lines
+            for directive in directives_by_path.get(unused.path, [])
+        )
+        if explicit:
+            suppressed.append(
+                Finding(
+                    path=unused.path,
+                    line=unused.line,
+                    col=unused.col,
+                    rule_id=unused.rule_id,
+                    message=unused.message,
+                    suppressed=True,
+                )
+            )
+        else:
+            findings.append(unused)
 
     # -- record dependency hashes and persist the cache ----------------------
     if cache is not None:

@@ -10,6 +10,12 @@ are unchanged), and the rules reason over the assembled
 approximate call graph, and every summary at once.
 """
 
+from repro.staticcheck.project.concurrency import (
+    BlockingUnderLockRule,
+    ConcurrencyModel,
+    LockOrderCycleRule,
+    UnguardedSharedWriteRule,
+)
 from repro.staticcheck.project.contracts import ContractDriftRule
 from repro.staticcheck.project.cycles import ImportCycleRule
 from repro.staticcheck.project.dead_exports import DeadExportRule
@@ -18,14 +24,18 @@ from repro.staticcheck.project.summary import ModuleSummary, build_summary, modu
 from repro.staticcheck.project.taint import TaintedPersistenceRule
 
 __all__ = [
+    "BlockingUnderLockRule",
     "CallGraph",
+    "ConcurrencyModel",
     "ContractDriftRule",
     "DeadExportRule",
     "ImportCycleRule",
     "ImportGraph",
+    "LockOrderCycleRule",
     "ModuleSummary",
     "ProjectContext",
     "TaintedPersistenceRule",
+    "UnguardedSharedWriteRule",
     "build_summary",
     "module_name_for_path",
 ]

@@ -1,0 +1,13 @@
+import pytest
+
+from repro.sanitizers import clear_events, clear_lock_graph
+
+
+@pytest.fixture(autouse=True)
+def reset_sanitizer_state():
+    """Events and the lock-order graph are process-global; isolate tests."""
+    clear_events()
+    clear_lock_graph()
+    yield
+    clear_events()
+    clear_lock_graph()

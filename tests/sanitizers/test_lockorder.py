@@ -1,0 +1,99 @@
+"""Runtime lock-order sanitizer: the racy fixture must be flagged on
+every run, the clean twin never, and tracking must cost nothing but a
+flag check when disabled."""
+
+import importlib.util
+import threading
+from pathlib import Path
+
+from repro.sanitizers import (
+    TrackedLock,
+    clear_events,
+    enabled,
+    events,
+    lock_graph,
+    new_lock,
+    sanitize,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load_fixture(name):
+    spec = importlib.util.spec_from_file_location(name, FIXTURES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRacyFixture:
+    def test_inconsistent_order_is_flagged_every_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        racy = load_fixture("racy_order")
+        for _ in range(3):
+            clear_events()
+            racy.run_both()
+            detected = events("lock-order-cycle")
+            assert detected, "the inversion must be flagged deterministically"
+            chains = [e.details["chain"] for e in detected]
+            assert any(set(c) == {"racy_order.LOCK_A", "racy_order.LOCK_B"} for c in chains)
+
+    def test_clean_fixture_is_never_flagged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        ordered = load_fixture("clean_order")
+        for _ in range(3):
+            ordered.run_both()
+        assert events("lock-order-cycle") == []
+
+    def test_graph_records_the_observed_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        ordered = load_fixture("clean_order")
+        ordered.run_both()
+        graph = lock_graph()
+        assert graph.get("clean_order.LOCK_A") == ["clean_order.LOCK_B"]
+
+
+class TestTrackedLock:
+    def test_nonreentrant_self_reacquire_is_flagged_without_blocking(self):
+        lock = new_lock("self-deadlock", factory=threading.Lock)
+        with sanitize():
+            with lock:
+                assert lock.acquire(blocking=False) is False
+        (event,) = events("lock-order-cycle")
+        assert event.details["reason"].startswith("non-reentrant")
+
+    def test_reentrant_reacquire_is_fine(self):
+        lock = new_lock("reentrant")
+        with sanitize():
+            with lock:
+                with lock:
+                    pass
+        assert events() == []
+
+    def test_disabled_lock_still_locks_and_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        lock = new_lock("plain", factory=threading.Lock)
+        assert not enabled()
+        with lock:
+            assert lock.acquire(blocking=False) is False
+        assert events() == []
+        assert lock_graph() == {}
+
+    def test_sanitize_is_thread_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        seen = []
+
+        def body():
+            seen.append(enabled())
+
+        with sanitize():
+            assert enabled()
+            worker = threading.Thread(target=body)
+            worker.start()
+            worker.join()
+        assert seen == [False]
+        assert not enabled()
+
+    def test_wrapper_exposes_its_name(self):
+        lock = TrackedLock("named")
+        assert lock.name == "named"

@@ -1,0 +1,54 @@
+"""Numeric sanitizer: explicit finiteness checks and numpy FP-error traps."""
+
+import numpy as np
+
+from repro.sanitizers import check_finite, events, numeric_trap, sanitize
+from repro.roofline import Roofline
+
+
+class TestCheckFinite:
+    def test_nan_and_inf_are_counted(self):
+        with sanitize():
+            check_finite("site", np.array([1.0, np.nan, np.inf, -np.inf]))
+        (event,) = events("non-finite")
+        assert event.details == {"site": "site", "nan_count": 1, "inf_count": 2, "size": 4}
+
+    def test_finite_array_is_clean(self):
+        with sanitize():
+            check_finite("site", np.linspace(0.0, 1.0, 8))
+        assert events() == []
+
+    def test_disabled_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        check_finite("site", np.array([np.nan]))
+        assert events() == []
+
+
+class TestNumericTrap:
+    def test_divide_by_zero_is_trapped(self):
+        with sanitize():
+            with numeric_trap("div"):
+                np.divide(np.ones(2), np.zeros(2))
+        kinds = {(e.details["site"], e.details["error"]) for e in events("fp-error")}
+        assert ("div", "divide by zero") in kinds
+
+    def test_overflow_is_trapped(self):
+        with sanitize():
+            with numeric_trap("ovf"):
+                np.array([1e308]) * 10.0
+        assert any(e.details["error"] == "overflow" for e in events("fp-error"))
+
+    def test_clean_arithmetic_records_nothing(self):
+        with sanitize():
+            with numeric_trap("ok"):
+                np.ones(4) / np.full(4, 2.0)
+        assert events() == []
+
+
+class TestRooflineWiring:
+    def test_efficiency_hot_path_runs_instrumented_and_clean(self):
+        roofline = Roofline(peak_gflops=100.0, peak_membw_gbs=50.0)
+        with sanitize():
+            eff = roofline.efficiency(np.array([0.5, 4.0]), np.array([10.0, 90.0]))
+        assert np.all((eff >= 0.0) & (eff <= 1.0))
+        assert events() == []

@@ -1,0 +1,56 @@
+"""Seqlock-style torn-read detection across an explicit thread handoff."""
+
+import threading
+
+from repro.sanitizers import StateGuard, events, sanitize
+
+
+class TestStateGuard:
+    def test_read_overlapping_write_is_flagged(self):
+        guard = StateGuard("model")
+        with sanitize():
+            with guard.writing():
+                with guard.reading():
+                    pass
+        (event,) = events("torn-read")
+        assert event.details["guard"] == "model"
+        assert "in-progress write" in event.details["reason"]
+
+    def test_write_landing_mid_read_is_flagged(self):
+        guard = StateGuard("model")
+        read_started = threading.Event()
+        write_done = threading.Event()
+
+        def writer():
+            with sanitize():
+                read_started.wait(timeout=5)
+                with guard.writing():
+                    pass
+                write_done.set()
+
+        worker = threading.Thread(target=writer)
+        worker.start()
+        with sanitize():
+            with guard.reading():
+                read_started.set()
+                assert write_done.wait(timeout=5)
+        worker.join()
+        (event,) = events("torn-read")
+        assert "changed underneath" in event.details["reason"]
+
+    def test_serialized_accesses_are_clean(self):
+        guard = StateGuard("model")
+        with sanitize():
+            with guard.writing():
+                pass
+            with guard.reading():
+                pass
+        assert events("torn-read") == []
+
+    def test_disabled_guard_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        guard = StateGuard("model")
+        with guard.writing():
+            with guard.reading():
+                pass
+        assert events() == []

@@ -1,0 +1,111 @@
+"""Staticcheck engine throughput: cold vs warm cache, flow tier on/off.
+
+Not a paper figure — operational context for the correctness tooling:
+the linter runs on every CI push and inside the tier-1 gate, so its
+cold-parse cost, its warm-cache speedup and the marginal price of the
+flow-sensitive tier (CFG construction + fixpoints, PR 5) are worth
+tracking release over release.  The project is synthetic so the numbers
+measure the engine, not the repo's current line count.
+"""
+
+import pytest
+
+from repro.staticcheck import check_paths, resolve_rules
+
+#: The flow-sensitive tier (PR 5); ignoring these skips CFG + fixpoint work.
+FLOW_RULES = ("unit-mismatch", "resource-leak", "double-release")
+
+NUM_FILES = 24
+
+MODULE = '''\
+"""Synthetic module {i}: annotated roofline math plus resource churn."""
+
+
+def _perf_{i}(flops, duration, nodes):  # unit: flops=flops, duration=s, nodes=1 -> gflops/s
+    total = flops / 1e9
+    for _ in range(4):
+        total = total + flops / 1e9
+    if total > flops / 1e9:
+        total = total / 2
+    return total / (duration * nodes)
+
+
+def _churn_{i}(path):
+    fh = open(path)
+    try:
+        data = fh.read()
+    finally:
+        fh.close()
+    with open(path) as again:
+        data += again.read()
+    return data
+'''
+
+
+@pytest.fixture(scope="module")
+def project(tmp_path_factory):
+    pkg = tmp_path_factory.mktemp("staticcheck_bench") / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for i in range(NUM_FILES):
+        (pkg / f"mod_{i}.py").write_text(MODULE.format(i=i))
+    return pkg
+
+
+def _check(project, cache, rules):
+    result = check_paths([project], cache_path=cache, rules=rules)
+    assert result.files_checked == NUM_FILES + 1
+    assert result.findings == []
+    return result
+
+
+def test_cold_run_all_rules(benchmark, project, tmp_path):
+    """Cold parse + full rule set including the flow tier."""
+    counter = iter(range(10**6))
+
+    def setup():
+        return (project, tmp_path / f"cold-{next(counter)}.json", resolve_rules()), {}
+
+    benchmark.pedantic(_check, setup=setup, rounds=5)
+
+
+def test_cold_run_without_flow_tier(benchmark, project, tmp_path):
+    """Cold parse with the flow tier off — the delta to the benchmark
+    above is what CFG construction and the fixpoints cost."""
+    rules = resolve_rules(ignore=list(FLOW_RULES))
+    counter = iter(range(10**6))
+
+    def setup():
+        return (project, tmp_path / f"noflow-{next(counter)}.json", rules), {}
+
+    benchmark.pedantic(_check, setup=setup, rounds=5)
+
+
+def test_warm_run_all_rules(benchmark, project, tmp_path):
+    """Fully-warm cache: every file served without re-analysis, so the
+    flow tier costs nothing (its results live in the cached entries)."""
+    cache = tmp_path / "warm.json"
+    _check(project, cache, resolve_rules())  # prime
+    result = benchmark(_check, project, cache, resolve_rules())
+    assert result.stats.cache_hits == NUM_FILES + 1
+    assert result.stats.flow_cfgs == 0
+
+
+def test_warm_run_one_dirty_file(benchmark, project, tmp_path):
+    """Steady-state developer loop: one edited file, the rest cached."""
+    cache = tmp_path / "dirty.json"
+    _check(project, cache, resolve_rules())  # prime
+    dirty = project / "mod_0.py"
+    text = dirty.read_text()
+    edits = iter(range(10**6))
+
+    def edit_then_check():
+        dirty.write_text(f"{text}\n# edit {next(edits)}\n")
+        result = _check(project, cache, resolve_rules())
+        assert result.stats.cache_misses == 1
+        return result
+
+    try:
+        benchmark(edit_then_check)
+    finally:
+        dirty.write_text(text)

@@ -47,10 +47,10 @@ class CounterSet:
     matches how Fugaku's operations software aggregates them.
     """
 
-    perf2: float  # FP_FIXED_OPS_SPEC
-    perf3: float  # FP_SCALE_OPS_SPEC (per 128-bit SVE slice)
-    perf4: float  # BUS_READ_TOTAL_MEM
-    perf5: float  # BUS_WRITE_TOTAL_MEM
+    perf2: float  # unit: flops - FP_FIXED_OPS_SPEC
+    perf3: float  # unit: flops - FP_SCALE_OPS_SPEC (per 128-bit SVE slice)
+    perf4: float  # unit: 1 - BUS_READ_TOTAL_MEM (bus request count)
+    perf5: float  # unit: 1 - BUS_WRITE_TOTAL_MEM (bus request count)
 
     def __post_init__(self) -> None:
         for name in ("perf2", "perf3", "perf4", "perf5"):
@@ -58,7 +58,7 @@ class CounterSet:
                 raise ValueError(f"counter {name} must be non-negative")
 
 
-def flops_from_counters(perf2, perf3, *, spec: FugakuSpec = FUGAKU):
+def flops_from_counters(perf2, perf3, *, spec: FugakuSpec = FUGAKU):  # unit: perf2=flops, perf3=flops -> flops
     """Equation 4: total floating point operations of a job.
 
     ``perf2`` is the fixed amount of operations, ``perf3`` counts operations
@@ -74,7 +74,7 @@ def flops_from_counters(perf2, perf3, *, spec: FugakuSpec = FUGAKU):
     return out if out.ndim else float(out)
 
 
-def moved_bytes_from_counters(perf4, perf5, *, spec: FugakuSpec = FUGAKU):
+def moved_bytes_from_counters(perf4, perf5, *, spec: FugakuSpec = FUGAKU):  # unit: perf4=1, perf5=1 -> bytes
     """Equation 5: total bytes moved between memory and the node.
 
     Read and write bus requests are summed, scaled by the 256-byte cache
@@ -92,7 +92,7 @@ def moved_bytes_from_counters(perf4, perf5, *, spec: FugakuSpec = FUGAKU):
 
 
 def counters_from_flops_bytes(
-    flops,
+    flops,  # unit: flops=flops, moved_bytes=bytes, sve_fraction=1, read_fraction=1
     moved_bytes,
     *,
     spec: FugakuSpec = FUGAKU,

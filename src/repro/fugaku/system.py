@@ -42,9 +42,9 @@ class FugakuSpec:
     assistant_cores_per_node: int = 4
     memory_gib_per_node: int = 32
     #: Peak FP64 performance of one node in GFlops/s (boost mode, 2.2 GHz).
-    peak_gflops_node: float = 3380.0
+    peak_gflops_node: float = 3380.0  # unit: gflops/s
     #: Peak HBM2 memory bandwidth of one node in GBytes/s.
-    peak_membw_gbs: float = 1024.0
+    peak_membw_gbs: float = 1024.0  # unit: gb/s
     #: System-level peak performance in PFlops/s (FP64).
     peak_pflops_system: float = 537.0
     interconnect: str = "Tofu D Interconnect (28 Gbps)"
@@ -53,15 +53,15 @@ class FugakuSpec:
     sve_bits: int = 512
     #: Cache line size in bytes; each memory bus request moves one line
     #: (the ``x256`` multiplier of Equation 5).
-    cache_line_bytes: int = 256
+    cache_line_bytes: int = 256  # unit: bytes
     #: Cores per Core Memory Group.  ``perf4``/``perf5`` are recorded per
     #: core but replicate the whole-CMG value, hence the ``/12`` of Eq. 5.
-    cores_per_cmg: int = 12
+    cores_per_cmg: int = 12  # unit: 1
     #: Frequencies selectable at submission time, GHz.
     frequencies_ghz: tuple[float, ...] = (NORMAL_MODE_GHZ, BOOST_MODE_GHZ)
 
     @property
-    def sve_multiplier(self) -> int:
+    def sve_multiplier(self) -> int:  # unit: -> 1
         """Number of 128-bit slices per SVE vector (4 on the A64FX)."""
         return self.sve_bits // 128
 
@@ -71,7 +71,7 @@ class FugakuSpec:
         return self.cores_per_node // self.cores_per_cmg
 
     @property
-    def ridge_point(self) -> float:
+    def ridge_point(self) -> float:  # unit: -> flops/byte
         """Operational intensity of the Roofline ridge point, Flops/Byte.
 
         The minimum operational intensity at which the node can reach its
@@ -81,7 +81,7 @@ class FugakuSpec:
         """
         return self.peak_gflops_node / self.peak_membw_gbs
 
-    def attainable_gflops(self, operational_intensity: float) -> float:
+    def attainable_gflops(self, operational_intensity: float) -> float:  # unit: operational_intensity=flops/byte -> gflops/s
         """Roofline-attainable performance at a given operational intensity.
 
         ``min(peak_perf, peak_bw * op)`` in GFlops/s.

@@ -31,7 +31,7 @@ COMPUTE_BOUND: int = 1
 LABEL_NAMES: tuple[str, str] = ("memory-bound", "compute-bound")
 
 
-def _validate(flops, duration, nodes_alloc) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _validate(flops, duration, nodes_alloc) -> tuple[np.ndarray, np.ndarray, np.ndarray]:  # unit: duration=s, nodes_alloc=1
     flops = np.asarray(flops, dtype=np.float64)
     duration = np.asarray(duration, dtype=np.float64)
     nodes = np.asarray(nodes_alloc, dtype=np.float64)
@@ -44,25 +44,25 @@ def _validate(flops, duration, nodes_alloc) -> tuple[np.ndarray, np.ndarray, np.
     return flops, duration, nodes
 
 
-def job_performance(flops, duration, nodes_alloc):
+def job_performance(flops, duration, nodes_alloc):  # unit: flops=flops, duration=s, nodes_alloc=1 -> gflops/s
     """Equation 1: per-node average performance in GFlops/s.
 
     ``p_j = #flops_j / (duration_j * #nodes_alloc_j)``, expressed in
     GFlops/s to match the machine ceilings.
     """
-    flops, duration, nodes = _validate(flops, duration, nodes_alloc)
+    flops, duration, nodes = _validate(flops, duration, nodes_alloc)  # unit: flops, s, 1
     out = flops / (duration * nodes) / 1e9
     return out if out.ndim else float(out)
 
 
-def job_memory_bandwidth(moved_bytes, duration, nodes_alloc):
+def job_memory_bandwidth(moved_bytes, duration, nodes_alloc):  # unit: moved_bytes=bytes, duration=s, nodes_alloc=1 -> gb/s
     """Equation 2: per-node average memory bandwidth in GBytes/s."""
-    moved, duration, nodes = _validate(moved_bytes, duration, nodes_alloc)
+    moved, duration, nodes = _validate(moved_bytes, duration, nodes_alloc)  # unit: bytes, s, 1
     out = moved / (duration * nodes) / 1e9
     return out if out.ndim else float(out)
 
 
-def job_operational_intensity(flops, moved_bytes, *, floor_bytes: float = 1.0):
+def job_operational_intensity(flops, moved_bytes, *, floor_bytes: float = 1.0):  # unit: flops=flops, moved_bytes=bytes, floor_bytes=bytes -> flops/byte
     """Equation 3: operational intensity ``op_j = p_j / mb_j`` in Flops/Byte.
 
     Duration and node normalizations cancel, so this is simply
@@ -79,7 +79,7 @@ def job_operational_intensity(flops, moved_bytes, *, floor_bytes: float = 1.0):
 
 
 def characterize_jobs(
-    flops,
+    flops,  # unit: flops=flops, moved_bytes=bytes, duration=s, nodes_alloc=1
     moved_bytes,
     duration,
     nodes_alloc,

@@ -31,19 +31,19 @@ class Roofline:
         Peak memory bandwidth in GBytes/s.
     """
 
-    peak_gflops: float
-    peak_membw_gbs: float
+    peak_gflops: float  # unit: gflops/s
+    peak_membw_gbs: float  # unit: gb/s
 
     def __post_init__(self) -> None:
         if self.peak_gflops <= 0 or self.peak_membw_gbs <= 0:
             raise ValueError("roofline ceilings must be positive")
 
     @property
-    def ridge_point(self) -> float:
+    def ridge_point(self) -> float:  # unit: -> flops/byte
         """Operational intensity of the ridge point, Flops/Byte."""
         return self.peak_gflops / self.peak_membw_gbs
 
-    def attainable(self, op):
+    def attainable(self, op):  # unit: op=flops/byte -> gflops/s
         """Attainable performance (GFlops/s) at operational intensity ``op``.
 
         Vectorized: accepts scalars or arrays.
@@ -56,7 +56,7 @@ class Roofline:
         check_finite("Roofline.attainable", out)
         return out if out.ndim else float(out)
 
-    def is_compute_bound(self, op):
+    def is_compute_bound(self, op):  # unit: op=flops/byte
         """Boolean (array): strictly above the ridge point.
 
         The paper labels a job *compute-bound* iff its operational intensity
@@ -66,7 +66,7 @@ class Roofline:
         out = op > self.ridge_point
         return out if out.ndim else bool(out)
 
-    def efficiency(self, op, performance_gflops):
+    def efficiency(self, op, performance_gflops):  # unit: op=flops/byte, performance_gflops=gflops/s -> 1
         """Fraction of the attainable performance actually achieved."""
         perf = np.asarray(performance_gflops, dtype=np.float64)
         att = np.asarray(self.attainable(op), dtype=np.float64)

@@ -28,7 +28,11 @@ from pathlib import Path
 
 __all__ = ["AnalysisCache", "file_digest"]
 
-CACHE_SCHEMA = 3
+# Schema history: 3 added module summaries + dep hashes; 4 added the
+# flow-sensitive tier (per-file flow-work counters, and findings that
+# depend on cross-file ``# unit:`` annotations — entries from schema 3
+# would be silently missing those findings, so they must not be served).
+CACHE_SCHEMA = 4
 
 
 def file_digest(data: bytes) -> str:

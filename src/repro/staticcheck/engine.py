@@ -124,6 +124,11 @@ class CheckStats:
     jobs: int = 1
     wall_seconds: float = 0.0
     findings_per_rule: dict[str, int] = field(default_factory=dict)
+    #: CFG/fixpoint effort actually spent this run (cold files only —
+    #: cache hits did no flow work, which is the point of the cache).
+    flow_cfgs: int = 0
+    flow_blocks: int = 0
+    flow_iterations: int = 0
 
 
 @dataclass
@@ -266,9 +271,11 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
     tuple pickles cheaply across process boundaries; ``None`` means the
     full registry.
     """
+    from repro.staticcheck import flow
     from repro.staticcheck.project.summary import build_summary, module_name_for_path
 
     path_str, rule_ids = task
+    flow_before = flow.snapshot_counters()
     path = Path(path_str)
     source = path.read_text(encoding="utf-8")
     if rule_ids is None:
@@ -300,11 +307,13 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
     raw.extend(_directive_findings(path_str, directives, _known_rule_ids(r.id for r in rules)))
     active, suppressed = _partition(raw, index)
     summary = build_summary(path_str, source, tree, module_name, is_package)
+    flow_after = flow.snapshot_counters()
     entry.update(
         {
             "findings": [f.to_dict() for f in sorted(active)],
             "suppressed": [f.to_dict() for f in sorted(suppressed)],
             "summary": summary.to_dict(),
+            "flow": {k: flow_after[k] - flow_before[k] for k in flow_after},
         }
     )
     return entry
@@ -605,6 +614,11 @@ def check_paths(
         reference_keys = {str(f) for f in reference_files}
         cache.save(keep_only=set(file_keys) | reference_keys)
 
+    flow_totals = {"cfgs": 0, "blocks": 0, "iterations": 0}
+    for key in cold:
+        for counter, value in entries[key].get("flow", {}).items():
+            flow_totals[counter] = flow_totals.get(counter, 0) + value
+
     stats = CheckStats(
         files_checked=len(files),
         reference_files=len(reference_files),
@@ -612,6 +626,9 @@ def check_paths(
         cache_misses=cache.misses if cache is not None else len(cold),
         jobs=jobs,
         wall_seconds=time.perf_counter() - started,
+        flow_cfgs=flow_totals["cfgs"],
+        flow_blocks=flow_totals["blocks"],
+        flow_iterations=flow_totals["iterations"],
     )
     result = CheckResult(
         findings=sorted(findings),

@@ -1,0 +1,593 @@
+"""Control-flow graphs over function ASTs.
+
+A :class:`CFG` is a set of basic blocks connected by directed edges.
+Each block holds a list of *elements*: plain simple statements
+(``ast.stmt``) plus lightweight pseudo-elements marking control actions
+that transfer functions care about — branch-condition evaluation
+(:class:`Test`), loop-target binding (:class:`ForBind`), context
+entry/exit (:class:`WithEnter` / :class:`WithExit`) and exception
+binding (:class:`ExceptBind`).  Compound statements never appear whole:
+their headers become pseudo-elements and their bodies become blocks.
+
+Modelled edges:
+
+* ``if``/``while``/``for`` branch and back edges, including ``else``
+  clauses on loops (taken only when the loop exits without ``break``);
+* ``break`` / ``continue`` / ``return`` / ``raise``, each routed through
+  every enclosing ``finally`` / ``with``-cleanup on the way out;
+* exception edges — any element that can plausibly raise (it contains a
+  call, a subscript or a division) ends its block with an edge to the
+  innermost enclosing handler set, or to ``EXIT`` when unprotected.
+  This is what lets a must-release analysis see the *exception path*
+  out of a function, not just the happy path.
+
+Deliberate approximations (all conservative for may/must analyses):
+
+* a ``finally`` body is built once; every way of reaching it (normal
+  completion, exception, early ``return``) merges at its entry, and its
+  tail fans out to every demanded continuation;
+* handler entry assumes a matching exception exists; a handler list
+  containing a bare ``except`` / ``except (Base)Exception`` is assumed
+  to catch everything (no bypass edge to outer frames);
+* a may-raise element is isolated in its own block and the exception
+  edge leaves *before* it — Python semantics: an assignment that raised
+  never bound its target, so a handler must not see the post-state;
+* cleanup calls (``x.close()`` / ``.release()`` / ``.shutdown()`` ...)
+  are assumed to succeed — the standard must-release simplification,
+  without which every ``finally: x.close()`` would carry its own
+  exception path;
+* comprehensions and lambdas are opaque expressions: their inner scopes
+  bind nothing in the enclosing function (Python 3 scoping) and build no
+  blocks.
+
+Unreachable code (after ``return``, after ``while True`` without
+``break``) still gets blocks — with no incoming edges, so a fixpoint
+leaves them at bottom and report passes skip them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CFG",
+    "Block",
+    "ExceptBind",
+    "ForBind",
+    "FunctionGraph",
+    "Test",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "build_cfgs",
+]
+
+
+# -- pseudo-elements ---------------------------------------------------------
+
+
+class Test:
+    """Evaluation of a branch condition (``if``/``while`` test)."""
+
+    __slots__ = ("expr", "node")
+
+    def __init__(self, expr: ast.expr, node: ast.stmt):
+        self.expr = expr
+        self.node = node
+
+
+class ForBind:
+    """Loop header of a ``for``: evaluates ``iter`` and binds ``target``."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.For | ast.AsyncFor):
+        self.node = node
+
+
+class WithEnter:
+    """One ``with`` item entered: context expression + optional ``as`` var."""
+
+    __slots__ = ("item", "node")
+
+    def __init__(self, item: ast.withitem, node: ast.stmt):
+        self.item = item
+        self.node = node
+
+
+class WithExit:
+    """One ``with`` item exited — runs on normal *and* exception paths."""
+
+    __slots__ = ("item", "node")
+
+    def __init__(self, item: ast.withitem, node: ast.stmt):
+        self.item = item
+        self.node = node
+
+
+class ExceptBind:
+    """Handler entry: the exception name (if any) becomes bound."""
+
+    __slots__ = ("handler",)
+
+    def __init__(self, handler: ast.ExceptHandler):
+        self.handler = handler
+
+
+# -- graph structure ---------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """One basic block: an element list plus successor block ids."""
+
+    id: int
+    elements: list = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    """Blocks plus distinguished entry/exit; preds derived on demand."""
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+
+    def preds(self) -> dict[int, set[int]]:
+        preds: dict[int, set[int]] = {b.id: set() for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ].add(block.id)
+        return preds
+
+
+@dataclass
+class FunctionGraph:
+    """A CFG paired with the function it models (``node=None``: module)."""
+
+    name: str
+    qualname: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef | None
+    cfg: CFG
+
+
+# -- construction frames -----------------------------------------------------
+
+
+class _LoopFrame:
+    __slots__ = ("continue_target", "break_target")
+
+    def __init__(self, continue_target: int, break_target: int):
+        self.continue_target = continue_target
+        self.break_target = break_target
+
+
+class _CleanupFrame:
+    """A ``finally`` body or ``with``-exit that every departure crosses.
+
+    ``demands`` records which abnormal continuations must leave the
+    cleanup once it is finalized: ``("return",)``, ``("exc",)``,
+    ``("break", loop_frame)`` or ``("continue", loop_frame)``.
+    """
+
+    __slots__ = ("entry", "demands")
+
+    def __init__(self, entry: int):
+        self.entry = entry
+        self.demands: list = []
+
+
+class _TryFrame:
+    """The protected body of a ``try``: where its exceptions land."""
+
+    __slots__ = ("handler_entries", "unmatched")
+
+    def __init__(self, handler_entries: list[int], unmatched: bool):
+        self.handler_entries = handler_entries
+        #: True when no handler is guaranteed to match, so exceptions may
+        #: also continue outward past the handler list.
+        self.unmatched = unmatched
+
+
+def _catches_everything(handlers: list[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        for t in types:
+            name = t.attr if isinstance(t, ast.Attribute) else getattr(t, "id", None)
+            if name in ("Exception", "BaseException"):
+                return True
+    return False
+
+
+def _expr_may_raise(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Call, ast.Subscript, ast.Raise, ast.Assert)):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            return True
+    return False
+
+
+#: Method names assumed not to raise: resource teardown verbs, plus the
+#: registration verbs that hand a resource off to a container (without
+#: this, ``pools.append(conn)`` would carry an exception edge out of the
+#: block where ``conn`` is still held — a false leak on every handoff).
+_CLEANUP_VERBS = {
+    "add",
+    "append",
+    "appendleft",
+    "cancel",
+    "close",
+    "disconnect",
+    "join",
+    "put",
+    "put_nowait",
+    "register",
+    "release",
+    "setdefault",
+    "shutdown",
+    "unlink",
+}
+
+
+def _is_cleanup_call(element) -> bool:
+    return (
+        isinstance(element, ast.Expr)
+        and isinstance(element.value, ast.Call)
+        and isinstance(element.value.func, ast.Attribute)
+        and element.value.func.attr in _CLEANUP_VERBS
+    )
+
+
+def _may_raise(element) -> bool:
+    """Whether an element plausibly raises (gets its own exception edge)."""
+    if isinstance(element, (WithEnter, WithExit, ExceptBind)):
+        return False  # their own failure modes are not worth extra edges
+    if _is_cleanup_call(element):
+        return False
+    if isinstance(element, Test):
+        return _expr_may_raise(element.expr)
+    if isinstance(element, ForBind):
+        return _expr_may_raise(element.node.iter)
+    if isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # Defining a function runs decorators and default expressions
+        # only; the body does not execute here.
+        parts = list(element.decorator_list) + element.args.defaults + [
+            d for d in element.args.kw_defaults if d is not None
+        ]
+        return any(_expr_may_raise(p) for p in parts)
+    return _expr_may_raise(element)
+
+
+# -- builder -----------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.frames: list = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.add(dst)
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        end = self._stmts(body, self.entry)
+        if end is not None:
+            self._edge(end, self.exit)
+        from repro.staticcheck import flow
+
+        flow.COUNTERS["cfgs"] += 1
+        flow.COUNTERS["blocks"] += len(self.blocks)
+        return CFG(blocks=self.blocks, entry=self.entry, exit=self.exit)
+
+    # -- abnormal-exit routing ---------------------------------------------
+
+    def _route(self, kind: tuple, src: int, *, frames: list | None = None) -> None:
+        """Connect an abnormal departure to its target, crossing cleanups.
+
+        ``kind`` is ``("return",)``, ``("exc",)``, ``("break", frame)`` or
+        ``("continue", frame)``.  The walk stops at the first frame that
+        intercepts the departure; cleanups intercept everything and
+        re-emit it when they are finalized.
+        """
+        frames = self.frames if frames is None else frames
+        for i in range(len(frames) - 1, -1, -1):
+            frame = frames[i]
+            if isinstance(frame, _CleanupFrame):
+                self._edge(src, frame.entry)
+                if kind not in frame.demands:
+                    frame.demands.append(kind)
+                return
+            if isinstance(frame, _TryFrame) and kind[0] == "exc":
+                for target in frame.handler_entries:
+                    self._edge(src, target)
+                if frame.unmatched:
+                    # Keep looking outward for the next interceptor.
+                    self._route(kind, src, frames=frames[:i])
+                return
+            if isinstance(frame, _LoopFrame) and kind[0] in ("break", "continue"):
+                if frame is kind[1]:
+                    target = (
+                        frame.break_target if kind[0] == "break" else frame.continue_target
+                    )
+                    self._edge(src, target)
+                    return
+        self._edge(src, self.exit)
+
+    def _nearest_loop(self) -> _LoopFrame | None:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame
+        return None
+
+    # -- element emission --------------------------------------------------
+
+    def _emit(self, element, current: int) -> int:
+        """Append an element; isolate it when it may raise.
+
+        The exception edge leaves the *preceding* block, so an analysis
+        sees the pre-element state on the exception path (an assignment
+        that raised never bound its target).
+        """
+        if _may_raise(element):
+            self._route(("exc",), current)
+            elem_block = self._new_block()
+            self._edge(current, elem_block)
+            self.blocks[elem_block].elements.append(element)
+            nxt = self._new_block()
+            self._edge(elem_block, nxt)
+            return nxt
+        self.blocks[current].elements.append(element)
+        return current
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _stmts(self, body: list[ast.stmt], current: int | None) -> int | None:
+        for stmt in body:
+            if current is None:
+                # Unreachable code still gets (edge-less) blocks so the
+                # builder never crashes on it; the fixpoint skips them.
+                current = self._new_block()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Return):
+            current = self._emit(stmt, current)
+            self._route(("return",), current)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.blocks[current].elements.append(stmt)
+            self._route(("exc",), current)
+            return None
+        if isinstance(stmt, ast.Break):
+            loop = self._nearest_loop()
+            if loop is not None:
+                self._route(("break", loop), current)
+            return None
+        if isinstance(stmt, ast.Continue):
+            loop = self._nearest_loop()
+            if loop is not None:
+                self._route(("continue", loop), current)
+            return None
+        # Nested defs/classes are opaque simple elements here; each nested
+        # function gets its own FunctionGraph from build_cfgs.
+        return self._emit(stmt, current)
+
+    # -- compound statements -----------------------------------------------
+
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        current = self._emit(Test(stmt.test, stmt), current)
+        then_entry = self._new_block()
+        self._edge(current, then_entry)
+        then_end = self._stmts(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+        else:
+            else_end = current  # falls straight through
+        if then_end is None and else_end is None:
+            return None
+        after = self._new_block()
+        for end in (then_end, else_end):
+            if end is not None:
+                self._edge(end, after)
+        return after
+
+    def _loop(self, stmt, back_target: int, branch: int, *, exits_normally: bool) -> int | None:
+        """Shared body/else/back-edge wiring for ``while`` and ``for``.
+
+        ``back_target`` is the block that re-evaluates the loop header (the
+        continue target); ``branch`` is where the body/else edges leave.
+        """
+        after = self._new_block()
+        frame = _LoopFrame(continue_target=back_target, break_target=after)
+        self.frames.append(frame)
+        body_entry = self._new_block()
+        self._edge(branch, body_entry)
+        body_end = self._stmts(stmt.body, body_entry)
+        if body_end is not None:
+            self._edge(body_end, back_target)  # back edge
+        self.frames.pop()
+        if exits_normally:
+            # The ``else`` clause runs exactly when the loop exhausts
+            # without ``break``; ``break`` jumps straight to ``after``.
+            if stmt.orelse:
+                else_entry = self._new_block()
+                self._edge(branch, else_entry)
+                else_end = self._stmts(stmt.orelse, else_entry)
+                if else_end is not None:
+                    self._edge(else_end, after)
+            else:
+                self._edge(branch, after)
+        if not any(after in block.succs for block in self.blocks):
+            return None  # e.g. while True with no break: nothing follows
+        return after
+
+    def _while(self, stmt: ast.While, current: int) -> int | None:
+        back_target = self._new_block()
+        self._edge(current, back_target)
+        branch = self._emit(Test(stmt.test, stmt), back_target)
+        always_true = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        return self._loop(stmt, back_target, branch, exits_normally=not always_true)
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, current: int) -> int | None:
+        back_target = self._new_block()
+        self._edge(current, back_target)
+        branch = self._emit(ForBind(stmt), back_target)
+        return self._loop(stmt, back_target, branch, exits_normally=True)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, current: int) -> int | None:
+        cleanup = _CleanupFrame(entry=self._new_block())
+        for item in stmt.items:
+            current = self._emit(WithEnter(item, stmt), current)
+        for item in reversed(stmt.items):
+            self.blocks[cleanup.entry].elements.append(WithExit(item, stmt))
+        self.frames.append(cleanup)
+        body_end = self._stmts(stmt.body, current)
+        self.frames.pop()
+        if body_end is not None:
+            self._edge(body_end, cleanup.entry)
+        return self._finalize_cleanup(
+            cleanup, cleanup.entry, reachable_normally=body_end is not None
+        )
+
+    def _try(self, stmt: ast.Try, current: int) -> int | None:
+        cleanup = _CleanupFrame(entry=self._new_block()) if stmt.finalbody else None
+        if cleanup is not None:
+            self.frames.append(cleanup)
+
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        try_frame = _TryFrame(
+            handler_entries=list(handler_entries),
+            unmatched=not _catches_everything(stmt.handlers),
+        )
+        self.frames.append(try_frame)
+        body_entry = self._new_block()
+        self._edge(current, body_entry)
+        body_end = self._stmts(stmt.body, body_entry)
+        self.frames.pop()  # handlers run outside the protected region
+
+        if stmt.orelse and body_end is not None:
+            body_end = self._stmts(stmt.orelse, body_end)
+
+        ends: list[int] = []
+        if body_end is not None:
+            ends.append(body_end)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_current = self._emit(ExceptBind(handler), entry)
+            handler_end = self._stmts(handler.body, handler_current)
+            if handler_end is not None:
+                ends.append(handler_end)
+
+        if cleanup is None:
+            if not ends:
+                return None
+            after = self._new_block()
+            for end in ends:
+                self._edge(end, after)
+            return after
+
+        # Build the finally body once; everything merges at its entry.
+        self.frames.pop()  # exceptions inside the finally propagate outward
+        for end in ends:
+            self._edge(end, cleanup.entry)
+        finally_end = self._stmts(stmt.finalbody, cleanup.entry)
+        if finally_end is None:
+            return None  # the finally itself never completes
+        return self._finalize_cleanup(cleanup, finally_end, reachable_normally=bool(ends))
+
+    def _finalize_cleanup(
+        self, cleanup: _CleanupFrame, tail: int, *, reachable_normally: bool
+    ) -> int | None:
+        """Fan the cleanup's tail out to every demanded continuation.
+
+        Each abnormal demand is re-routed on the frame stack *without*
+        this frame, so nested cleanups chain (inner finally -> outer
+        finally -> exit).  The normal continuation exists only when some
+        path reaches the cleanup by falling through.
+        """
+        for kind in cleanup.demands:
+            self._route(kind, tail)
+        if reachable_normally:
+            after = self._new_block()
+            self._edge(tail, after)
+            return after
+        return None
+
+
+def build_cfg(body: list[ast.stmt]) -> CFG:
+    """CFG for one statement list (a function body or a module body)."""
+    return _Builder().build(body)
+
+
+def _collect_functions(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    out: list[tuple[str, ast.AST]] = []
+
+    def walk(stmts: list[ast.stmt], qual: str) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = f"{qual}.{stmt.name}" if qual else stmt.name
+                out.append((inner, stmt))
+                walk(stmt.body, inner)
+            elif isinstance(stmt, ast.ClassDef):
+                inner = f"{qual}.{stmt.name}" if qual else stmt.name
+                walk(stmt.body, inner)
+            else:
+                for block in (
+                    getattr(stmt, "body", None),
+                    getattr(stmt, "orelse", None),
+                    getattr(stmt, "finalbody", None),
+                ):
+                    if isinstance(block, list):
+                        walk(block, qual)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    walk(handler.body, qual)
+
+    walk(tree.body, "")
+    return out
+
+
+def build_cfgs(tree: ast.Module) -> list[FunctionGraph]:
+    """One graph for the module body plus one per (nested) function."""
+    graphs = [
+        FunctionGraph(
+            name="<module>", qualname="<module>", lineno=1, node=None, cfg=build_cfg(tree.body)
+        )
+    ]
+    for qualname, fn in _collect_functions(tree):
+        graphs.append(
+            FunctionGraph(
+                name=fn.name,
+                qualname=qualname,
+                lineno=fn.lineno,
+                node=fn,
+                cfg=build_cfg(fn.body),
+            )
+        )
+    return graphs

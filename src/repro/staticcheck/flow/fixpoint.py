@@ -1,0 +1,96 @@
+"""Generic forward-dataflow fixpoint over a :class:`~.cfg.CFG`.
+
+An analysis supplies three things — an initial state for the entry
+block, a ``join`` over states meeting at a block, and a ``transfer``
+applying one CFG element to a state — and :func:`run_forward` iterates a
+worklist until nothing changes.  *Unreached* is represented by absence
+(a block with no computed in-state is bottom); joins therefore never
+need an explicit bottom element, and unreachable blocks simply stay out
+of the result maps, which is how report passes skip dead code.
+
+States must be comparable with ``==`` and must be treated as immutable
+by ``transfer`` (return a new state; never mutate the argument), since
+convergence detection is equality of successive out-states.
+
+Termination is the analysis's responsibility (finite-height lattice or
+widening); a hard iteration cap proportional to the block count is kept
+as a backstop so a buggy lattice degrades into a partial (still sound
+for may-analyses' *reported-on-reachable* use) result instead of a hang.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.staticcheck.flow.cfg import CFG
+
+__all__ = ["FlowResult", "ForwardAnalysis", "run_forward"]
+
+
+class ForwardAnalysis:
+    """Interface for forward analyses; subclass and override all three."""
+
+    def initial(self):
+        """State on entry to the CFG (e.g. parameter bindings)."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Least upper bound of two states meeting at a block."""
+        raise NotImplementedError
+
+    def transfer(self, element, state):
+        """State after ``element`` executes in ``state`` (pure function)."""
+        raise NotImplementedError
+
+
+@dataclass
+class FlowResult:
+    """Converged states: block id -> state; absent id = unreachable."""
+
+    in_states: dict
+    out_states: dict
+    iterations: int
+
+    def reached(self, block_id: int) -> bool:
+        return block_id in self.in_states
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> FlowResult:
+    """Worklist iteration to a fixpoint (or the safety cap)."""
+    in_states: dict = {cfg.entry: analysis.initial()}
+    out_states: dict = {}
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    blocks = {block.id: block for block in cfg.blocks}
+    iterations = 0
+    # Generous backstop: a finite-height lattice converges in
+    # O(height * edges) visits; anything past this is a lattice bug.
+    cap = 64 * len(cfg.blocks) + 256
+
+    while worklist and iterations < cap:
+        iterations += 1
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        state = in_states[block_id]
+        for element in blocks[block_id].elements:
+            state = analysis.transfer(element, state)
+        if block_id in out_states and out_states[block_id] == state:
+            continue
+        out_states[block_id] = state
+        for succ in blocks[block_id].succs:
+            if succ in in_states:
+                joined = analysis.join(in_states[succ], state)
+                if joined == in_states[succ]:
+                    continue
+                in_states[succ] = joined
+            else:
+                in_states[succ] = state
+            if succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+
+    from repro.staticcheck import flow
+
+    flow.COUNTERS["iterations"] += iterations
+    return FlowResult(in_states=in_states, out_states=out_states, iterations=iterations)

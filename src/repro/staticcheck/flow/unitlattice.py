@@ -1,0 +1,271 @@
+"""The physical-units abstract domain and the ``# unit:`` spec grammar.
+
+MCBound's arithmetic is dimensioned: Eq. 1 divides Flops by
+node-seconds into GFlops/s, Eq. 2 divides bytes into GB/s, Eq. 3 divides
+the two rates into Flops/Byte and compares against the ridge point.  The
+lattice here abstracts a numeric expression to its *dimension vector*
+over the base dimensions ``flops``, ``bytes`` and ``seconds``:
+
+* :data:`TOP` — unknown unit; absorbs everything, never reported on;
+* :data:`POLY` — a bare numeric literal: unit-polymorphic, compatible
+  with any unit under addition/comparison and an identity under
+  multiplication (``perf3 * 4`` stays flops; ``x + 1e-9`` never warns);
+* :class:`Unit` — a concrete dimension vector, e.g. GFlops/s is
+  ``flops^1 * seconds^-1``.  SI magnitude prefixes (G/M/K/T, GiB...)
+  are pure scale factors and carry no dimensional information, so
+  ``gflops`` and ``flops`` are the *same* lattice point — the analysis
+  checks dimensional consistency, not magnitudes.
+
+Joins lose information monotonically: two different concrete units join
+to :data:`TOP` (a branch-dependent unit is no longer trustworthy), POLY
+joins into any concrete unit, and the lattice has height 2 — the
+fixpoint converges fast and needs no widening.
+
+The spec grammar accepted after ``# unit:`` is deliberately tiny::
+
+    spec     := term ("/" term)* | "1"
+    term     := name ("*" name)*
+    name     := flops | bytes | seconds | aliases/prefixed forms
+
+``flops/byte`` is intensity, ``gflops/s`` a compute rate, ``gb/s`` a
+bandwidth, ``1`` an explicit dimensionless count or ratio.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+
+__all__ = [
+    "POLY",
+    "TOP",
+    "Unit",
+    "add_result",
+    "annotation_lines",
+    "div",
+    "incompatible",
+    "join",
+    "mul",
+    "parse_spec",
+    "power",
+    "unit_name",
+]
+
+
+class _Top:
+    """Unknown unit — every operation with it stays unknown."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "TOP"
+
+
+class _Poly:
+    """A unit-polymorphic scalar (numeric literal)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "POLY"
+
+
+TOP = _Top()
+POLY = _Poly()
+
+
+class Unit:
+    """A concrete dimension vector: sorted ``(base, exponent)`` pairs.
+
+    The empty vector is *dimensionless* — a ratio like roofline
+    efficiency, or an explicit ``# unit: 1`` count.  Instances are
+    value-hashable so states built from them compare with ``==``.
+    """
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: dict[str, int] | tuple = ()):
+        if isinstance(dims, dict):
+            self.dims = tuple(sorted((b, e) for b, e in dims.items() if e != 0))
+        else:
+            self.dims = tuple(sorted((b, e) for b, e in dims if e != 0))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Unit) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(("Unit", self.dims))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Unit({unit_name(self)})"
+
+
+DIMENSIONLESS = Unit()
+
+#: Alias table: every accepted spelling -> base dimension (or "" for a
+#: dimensionless count).  Magnitude prefixes are folded away on purpose.
+_NAMES: dict[str, str] = {
+    "1": "",
+    "flop": "flops",
+    "flops": "flops",
+    "gflop": "flops",
+    "gflops": "flops",
+    "mflops": "flops",
+    "tflops": "flops",
+    "b": "bytes",
+    "byte": "bytes",
+    "bytes": "bytes",
+    "kb": "bytes",
+    "mb": "bytes",
+    "gb": "bytes",
+    "tb": "bytes",
+    "gib": "bytes",
+    "mib": "bytes",
+    "s": "seconds",
+    "sec": "seconds",
+    "secs": "seconds",
+    "second": "seconds",
+    "seconds": "seconds",
+}
+
+
+def parse_spec(text: str) -> Unit | None:
+    """Parse one unit spec (``gflops/s``, ``flops/byte``, ``1``) or None.
+
+    An unknown name makes the whole spec unparsable — the caller treats
+    the annotation as absent rather than guessing.  A spec never contains
+    whitespace, so anything after the first space is trailing prose
+    (``# unit: flops - FP_FIXED_OPS_SPEC``) and is ignored.
+    """
+    words = text.strip().lower().split()
+    if not words:
+        return None
+    dims: dict[str, int] = {}
+    segments = words[0].split("/")
+    if not segments or not segments[0]:
+        return None
+    for position, segment in enumerate(segments):
+        sign = 1 if position == 0 else -1
+        for name in segment.split("*"):
+            name = name.strip()
+            if name not in _NAMES:
+                return None
+            base = _NAMES[name]
+            if base:
+                dims[base] = dims.get(base, 0) + sign
+    return Unit(dims)
+
+
+def unit_name(value) -> str:
+    """Human-readable rendering for report messages."""
+    if value is TOP:
+        return "?"
+    if value is POLY:
+        return "scalar"
+    if not value.dims:
+        return "1 (dimensionless)"
+    num = [f"{b}^{e}" if e > 1 else b for b, e in value.dims if e > 0]
+    den = [f"{b}^{-e}" if e < -1 else b for b, e in value.dims if e < 0]
+    text = "*".join(num) if num else "1"
+    if den:
+        text += "/" + "*".join(den)
+    return text
+
+
+# -- lattice operations ------------------------------------------------------
+
+
+def join(a, b):
+    """Least upper bound: agreement survives, conflict becomes TOP."""
+    if a is b or a == b:
+        return a
+    if a is TOP or b is TOP:
+        return TOP
+    if a is POLY:
+        return b
+    if b is POLY:
+        return a
+    return TOP  # two different concrete units
+
+
+def incompatible(a, b) -> bool:
+    """True only when *both* sides are concrete units with different dims.
+
+    TOP or POLY on either side means "cannot prove a mismatch", which is
+    never a finding — the analysis only reports contradictions between
+    two *known* dimensions.
+    """
+    return isinstance(a, Unit) and isinstance(b, Unit) and a.dims != b.dims
+
+
+def add_result(a, b):
+    """Result of ``a + b`` / ``a - b`` / ``min(a, b)``-style combination."""
+    if incompatible(a, b):
+        return TOP  # the mismatch is reported; keep analyzing soundly
+    if isinstance(a, Unit) and (b is POLY or a == b):
+        return a
+    if isinstance(b, Unit) and a is POLY:
+        return b
+    if a is POLY and b is POLY:
+        return POLY
+    return TOP
+
+
+def mul(a, b):
+    """Result of ``a * b``: dimension vectors add; POLY is an identity."""
+    if a is POLY:
+        return b
+    if b is POLY:
+        return a
+    if isinstance(a, Unit) and isinstance(b, Unit):
+        dims = dict(a.dims)
+        for base, exp in b.dims:
+            dims[base] = dims.get(base, 0) + exp
+        return Unit(dims)
+    return TOP
+
+
+def div(a, b):
+    """Result of ``a / b``: dimension vectors subtract."""
+    if b is POLY:
+        return a
+    if isinstance(a, Unit) and isinstance(b, Unit):
+        dims = dict(a.dims)
+        for base, exp in b.dims:
+            dims[base] = dims.get(base, 0) - exp
+        return Unit(dims)
+    if a is POLY and isinstance(b, Unit):
+        return Unit({base: -exp for base, exp in b.dims})
+    return TOP
+
+
+def power(a, exponent: int):
+    """Result of ``a ** k`` for an integer literal ``k``."""
+    if a is POLY or a is TOP:
+        return a
+    return Unit({base: exp * exponent for base, exp in a.dims})
+
+
+# -- annotation harvesting ---------------------------------------------------
+
+
+def annotation_lines(source: str) -> dict[int, str]:
+    """Map line number -> raw text after ``# unit:`` for every annotation.
+
+    Comments are found with :mod:`tokenize` (never by string search in
+    code), so a ``# unit:`` inside a string literal is not an annotation.
+    Unreadable source yields no annotations rather than an error — the
+    engine reports syntax problems separately.
+    """
+    out: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if text.lower().startswith("unit:"):
+                out[tok.start[0]] = text[len("unit:") :].strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return out

@@ -1,0 +1,656 @@
+"""``unit-mismatch``: abstract interpretation over the physical-units lattice.
+
+The rule runs a forward fixpoint per function CFG, mapping local
+variables to points of :mod:`~repro.staticcheck.flow.unitlattice`, then
+re-walks each *reachable* block with its converged in-state and reports
+every arithmetic contradiction between two **known** dimensions:
+
+* ``a + b`` / ``a - b`` where the operands carry different units
+  (the classic ``perf4 + perf3`` counter mix-up);
+* ``a < b`` comparisons across units (an intensity compared to a
+  duration can never be meaningful);
+* ``return`` of a value whose inferred unit contradicts the function's
+  declared ``-> unit``;
+* an assignment whose inferred unit contradicts the line's own
+  ``# unit:`` annotation.
+
+Units enter the analysis from *declared sources only*:
+
+* ``# unit:`` annotations on ``def`` lines (``perf2=flops -> flops``),
+  on module/class-level assignments, dataclass fields and properties
+  (harvested cross-file through the import table, so
+  ``Machine.peak_gflops`` typed in ``fugaku/machine.py`` seeds a use in
+  ``roofline/characterize.py`` — the engine's dep-aware cache
+  invalidation re-analyzes consumers when an annotation changes);
+* ``time.perf_counter()`` and friends, which are always seconds.
+
+Everything else is TOP and can never produce a finding: the rule is
+silent on unannotated code by construction, so adopting it is free and
+every report traces back to a declaration someone wrote down.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.flow import cfgs_for
+from repro.staticcheck.flow.cfg import ExceptBind, ForBind, FunctionGraph, Test, WithEnter, WithExit
+from repro.staticcheck.flow.fixpoint import ForwardAnalysis, run_forward
+from repro.staticcheck.flow.unitlattice import (
+    POLY,
+    TOP,
+    Unit,
+    add_result,
+    annotation_lines,
+    div,
+    incompatible,
+    join,
+    mul,
+    parse_spec,
+    power,
+    unit_name,
+)
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnitMismatchRule"]
+
+_SECONDS = Unit({"seconds": 1})
+
+#: Stdlib clocks whose results are always seconds — no annotation needed.
+_CLOCK_CALLS = {
+    "time.perf_counter",
+    "time.monotonic",
+    "time.process_time",
+    "time.thread_time",
+    "time.time",
+}
+
+#: Single-argument callables transparent to units.
+_PASSTHROUGH = {
+    "abs",
+    "float",
+    "numpy.abs",
+    "numpy.asarray",
+    "numpy.array",
+    "numpy.cumsum",
+    "numpy.max",
+    "numpy.mean",
+    "numpy.median",
+    "numpy.min",
+    "numpy.nanmax",
+    "numpy.nanmean",
+    "numpy.nanmin",
+    "numpy.nansum",
+    "numpy.ravel",
+    "numpy.sort",
+    "numpy.sum",
+}
+
+#: Callables combining arguments additively (same-unit semantics).
+_COMBINE = {"max", "min", "numpy.maximum", "numpy.minimum"}
+
+
+def _parse_def_spec(text: str) -> tuple[dict[str, Unit], Unit | None]:
+    """``perf2=flops, spec=1 -> flops`` -> (param units, return unit)."""
+    params: dict[str, Unit] = {}
+    if "->" in text:
+        left, _, right = text.partition("->")
+        ret = parse_spec(right)
+    elif "=" not in text and "," not in text:
+        return {}, parse_spec(text)  # bare spec on a def line = return unit
+    else:
+        left, ret = text, None
+    for part in left.split(","):
+        part = part.strip()
+        if "=" in part:
+            name, _, spec = part.partition("=")
+            unit = parse_spec(spec)
+            if unit is not None:
+                params[name.strip()] = unit
+    return params, ret
+
+
+def _parse_value_spec(text: str) -> list[Unit | None]:
+    """``flops, seconds, 1`` -> positional units for a (tuple) assignment."""
+    return [parse_spec(part) for part in text.split(",")]
+
+
+class _Harvest:
+    """Unit declarations extracted from one module's source."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, tuple[dict[str, Unit], Unit | None, list[str]]] = {}
+        self.methods: dict[str, tuple[dict[str, Unit], Unit | None, list[str]]] = {}
+        self.attrs: dict[str, Unit | None] = {}
+        self.names: dict[str, Unit] = {}
+
+    def _merge_attr(self, name: str, unit: Unit) -> None:
+        # Two classes declaring the same field name with different units
+        # poison the (receiver-insensitive) attribute seed.
+        if name in self.attrs and self.attrs[name] != unit:
+            self.attrs[name] = None
+        else:
+            self.attrs[name] = unit
+
+
+def _def_annotation(fn, annotations: dict[int, str]) -> str | None:
+    first_body_line = fn.body[0].lineno if fn.body else fn.lineno + 1
+    for line in range(fn.lineno, first_body_line):
+        if line in annotations:
+            return annotations[line]
+    return None
+
+
+def _stmt_annotation(stmt: ast.stmt, annotations: dict[int, str]) -> str | None:
+    end = getattr(stmt, "end_lineno", None) or stmt.lineno
+    for line in range(stmt.lineno, end + 1):
+        if line in annotations:
+            return annotations[line]
+    return None
+
+
+def _is_property(fn) -> bool:
+    return any(
+        (isinstance(d, ast.Name) and d.id == "property")
+        or (isinstance(d, ast.Attribute) and d.attr in ("property", "cached_property"))
+        for d in fn.decorator_list
+    )
+
+
+def harvest_module(tree: ast.Module, source: str) -> _Harvest:
+    """Collect every declared unit in one parsed module."""
+    annotations = annotation_lines(source)
+    out = _Harvest()
+    if not annotations:
+        return out
+
+    def visit_body(body: list[ast.stmt], *, in_class: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                raw = _def_annotation(stmt, annotations)
+                if raw is not None:
+                    params, ret = _parse_def_spec(raw)
+                    arg_names = [a.arg for a in stmt.args.args]
+                    info = (params, ret, arg_names)
+                    if in_class:
+                        out.methods[stmt.name] = info
+                        if _is_property(stmt) and ret is not None:
+                            out._merge_attr(stmt.name, ret)
+                    else:
+                        out.functions[stmt.name] = info
+                visit_body(stmt.body, in_class=False)
+            elif isinstance(stmt, ast.ClassDef):
+                visit_body(stmt.body, in_class=True)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                raw = _stmt_annotation(stmt, annotations)
+                if raw is None:
+                    continue
+                unit = parse_spec(raw)
+                if unit is None:
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if in_class:
+                            out._merge_attr(target.id, unit)
+                        else:
+                            out.names[target.id] = unit
+
+    visit_body(tree.body, in_class=False)
+    return out
+
+
+# Per-process cross-file harvest memo.  Keyed by (path, mtime, size) so
+# an edited dependency re-harvests within one process: the engine's warm
+# cache re-analyzes dependents when only a ``# unit:`` line changed, and
+# they must see the *new* annotations, not a stale memo entry.
+_HARVEST_MEMO: dict[tuple[str, int, int], _Harvest] = {}
+
+
+def _harvest_path(path: Path) -> _Harvest | None:
+    try:
+        stat = path.stat()
+        key = (str(path), stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return _Harvest()
+    if key in _HARVEST_MEMO:
+        return _HARVEST_MEMO[key]
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+    except (OSError, SyntaxError, ValueError):
+        _HARVEST_MEMO[key] = _Harvest()
+        return _HARVEST_MEMO[key]
+    result = harvest_module(tree, source)
+    _HARVEST_MEMO[key] = result
+    return result
+
+
+class _Environment:
+    """All unit seeds visible to one module: local + imported declarations."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.annotations = annotation_lines(module.source)
+        local = harvest_module(module.tree, module.source)
+        self.local = local
+        # Fully-qualified callables: local functions by bare name plus
+        # imported ones by resolved dotted name.
+        self.functions = dict(local.functions)
+        self.methods = dict(local.methods)
+        self.attrs = dict(local.attrs)
+        self.names = dict(local.names)
+        self._harvest_imports()
+
+    def _harvest_imports(self) -> None:
+        module = self.module
+        if not module.module_name:
+            return  # bare-source checks have no filesystem to resolve against
+        top = module.module_name.split(".")[0] + "."
+        root = self._package_root()
+        if root is None:
+            return
+        seen: set[str] = set()
+        for origin in module.imports.values():
+            if not origin.startswith(top):
+                continue
+            # ``from pkg.mod import sym`` resolves to pkg.mod.sym: try the
+            # origin as a module and as a symbol inside its parent module.
+            for dotted in (origin, origin.rpartition(".")[0]):
+                if not dotted or dotted in seen:
+                    continue
+                seen.add(dotted)
+                path = self._module_file(root, dotted)
+                if path is None:
+                    continue
+                harvest = _harvest_path(path)
+                if harvest is None:
+                    continue
+                for fn_name, info in harvest.functions.items():
+                    self.functions[f"{dotted}.{fn_name}"] = info
+                for method, info in harvest.methods.items():
+                    self.methods.setdefault(method, info)
+                for attr, unit in harvest.attrs.items():
+                    if unit is None:
+                        self.attrs[attr] = None
+                    elif attr in self.attrs and self.attrs[attr] != unit:
+                        self.attrs[attr] = None
+                    else:
+                        self.attrs[attr] = unit
+                for name, unit in harvest.names.items():
+                    self.names.setdefault(f"{dotted}.{name}", unit)
+
+    def _package_root(self) -> Path | None:
+        parts = self.module.module_name.split(".")
+        path = Path(self.module.path).resolve().parent
+        climb = len(parts) if self.module.is_package else len(parts) - 1
+        for _ in range(climb):
+            if path.parent == path:
+                return None
+            path = path.parent
+        return path
+
+    @staticmethod
+    def _module_file(root: Path, dotted: str) -> Path | None:
+        base = root.joinpath(*dotted.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.is_file():
+                return candidate
+        return None
+
+
+# -- the analysis ------------------------------------------------------------
+
+
+class _UnitAnalysis(ForwardAnalysis):
+    """Forward analysis: variable name -> lattice point (absent = TOP)."""
+
+    def __init__(self, env: _Environment, fn_params: dict[str, Unit]):
+        self.env = env
+        self.fn_params = fn_params
+
+    def initial(self):
+        return dict(self.fn_params)
+
+    def join(self, a, b):
+        out = {}
+        for name in a.keys() & b.keys():
+            value = join(a[name], b[name])
+            if value is not TOP:
+                out[name] = value
+        return out
+
+    # -- expression evaluation (pure; ``report`` collects mismatches) ------
+
+    def eval(self, expr: ast.expr, state: dict, report=None):
+        if isinstance(expr, ast.Constant):
+            return POLY if isinstance(expr.value, (int, float, complex)) else TOP
+        if isinstance(expr, ast.Name):
+            if expr.id in state:
+                return state[expr.id]
+            return self.env.names.get(expr.id, TOP)
+        if isinstance(expr, ast.Attribute):
+            self.eval(expr.value, state, report)
+            dotted = self.env.module.dotted_name(expr)
+            if dotted is not None and dotted in self.env.names:
+                return self.env.names[dotted]
+            unit = self.env.attrs.get(expr.attr)
+            return unit if unit is not None else TOP
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, state, report)
+            right = self.eval(expr.right, state, report)
+            return self._binop(expr, expr.op, left, right, report)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.eval(expr.operand, state, report)
+            return value if isinstance(expr.op, (ast.UAdd, ast.USub)) else TOP
+        if isinstance(expr, ast.Compare):
+            left = self.eval(expr.left, state, report)
+            for comparator in expr.comparators:
+                right = self.eval(comparator, state, report)
+                if report is not None and incompatible(left, right):
+                    report(
+                        comparator,
+                        f"compares {unit_name(left)} against {unit_name(right)}",
+                    )
+                left = right
+            return POLY
+        if isinstance(expr, ast.Call):
+            return self._call(expr, state, report)
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, state, report)
+            return join(self.eval(expr.body, state, report), self.eval(expr.orelse, state, report))
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.eval(value, state, report)
+            return TOP
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                self.eval(element, state, report)
+            return TOP
+        if isinstance(expr, ast.Subscript):
+            # Indexing preserves the container's unit (an array of flops
+            # yields flops); the index itself is still visited.
+            value = self.eval(expr.value, state, report)
+            if not isinstance(expr.slice, (ast.Tuple, ast.Slice)):
+                self.eval(expr.slice, state, report)
+            return value
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state, report)
+        return TOP  # lambdas, comprehensions, f-strings, ... are opaque
+
+    def _binop(self, node: ast.BinOp, op, left, right, report):
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if report is not None and incompatible(left, right):
+                verb = "adds" if isinstance(op, ast.Add) else "subtracts"
+                report(node, f"{verb} {unit_name(left)} and {unit_name(right)}")
+            return add_result(left, right)
+        if isinstance(op, ast.Mult):
+            return mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return div(left, right)
+        if isinstance(op, ast.Mod):
+            if report is not None and incompatible(left, right):
+                report(node, f"takes {unit_name(left)} modulo {unit_name(right)}")
+            return add_result(left, right)
+        if isinstance(op, ast.Pow):
+            if isinstance(node.right, ast.Constant) and isinstance(node.right.value, int):
+                return power(left, node.right.value)
+            return TOP
+        return TOP
+
+    def _call(self, node: ast.Call, state: dict, report):
+        args = [self.eval(arg, state, report) for arg in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value, state, report)
+        dotted = self.env.module.dotted_name(node.func)
+        if dotted is None:
+            # Chained calls (``np.where(...).astype(...)``): the callee
+            # expression itself contains evaluable subexpressions.
+            self.eval(node.func, state, report)
+        if dotted is not None:
+            if dotted in _CLOCK_CALLS:
+                return _SECONDS
+            if dotted in _PASSTHROUGH:
+                return args[0] if args else TOP
+            if dotted in _COMBINE:
+                value = args[0] if args else TOP
+                for index, arg in enumerate(args[1:], start=1):
+                    if report is not None and incompatible(value, arg):
+                        report(
+                            node.args[index],
+                            f"combines {unit_name(value)} with {unit_name(arg)}",
+                        )
+                    value = add_result(value, arg)
+                return value
+            if dotted == "numpy.divide" and len(args) >= 2:
+                return div(args[0], args[1])
+            info = self.env.functions.get(dotted)
+            if info is not None:
+                self._check_call_params(node, args, info, report, positional=True)
+                return info[1] if info[1] is not None else TOP
+        if isinstance(node.func, ast.Attribute):
+            info = self.env.methods.get(node.func.attr)
+            if info is not None:
+                # Bound call: positional args shift by ``self``; only
+                # keyword arguments are checked to stay precise.
+                self._check_call_params(node, args, info, report, positional=False)
+                return info[1] if info[1] is not None else TOP
+        return TOP
+
+    def _check_call_params(self, node, args, info, report, *, positional):
+        if report is None:
+            return
+        params, _ret, arg_names = info
+        if positional:
+            for name, value, arg_node in zip(arg_names, args, node.args):
+                declared = params.get(name)
+                if declared is not None and incompatible(value, declared):
+                    report(
+                        arg_node,
+                        f"passes {unit_name(value)} to parameter "
+                        f"'{name}' declared {unit_name(declared)}",
+                    )
+        for keyword in node.keywords:
+            declared = params.get(keyword.arg or "")
+            if declared is not None:
+                value = self.eval(keyword.value, {}, None)
+                if incompatible(value, declared):
+                    report(
+                        keyword.value,
+                        f"passes {unit_name(value)} to parameter "
+                        f"'{keyword.arg}' declared {unit_name(declared)}",
+                    )
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, element, state):
+        if isinstance(element, (Test, WithExit, ast.Return, ast.Expr, ast.Raise)):
+            return state
+        if isinstance(element, ForBind):
+            return self._clear_targets(element.node.target, state)
+        if isinstance(element, WithEnter):
+            if element.item.optional_vars is not None:
+                return self._clear_targets(element.item.optional_vars, state)
+            return state
+        if isinstance(element, ExceptBind):
+            name = element.handler.name
+            return self._without(state, name) if name else state
+        if isinstance(element, ast.Assign):
+            return self._assign(element, element.targets, element.value, state)
+        if isinstance(element, ast.AnnAssign):
+            if element.value is None:
+                return state
+            return self._assign(element, [element.target], element.value, state)
+        if isinstance(element, ast.AugAssign):
+            return self._aug_assign(element, state)
+        return state
+
+    def _assign(self, stmt, targets, value_expr, state):
+        declared = self._declared_units(stmt)
+        value = self.eval(value_expr, state, None)
+        out = dict(state)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                unit = declared[0] if declared else value
+                self._bind(out, target.id, unit)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self._bind_tuple(target, value_expr, declared, state, out)
+            # attribute/subscript stores leave locals untouched
+        return out
+
+    def _bind_tuple(self, target, value_expr, declared, state, out):
+        elements = target.elts
+        for index, element in enumerate(elements):
+            if not isinstance(element, ast.Name):
+                continue
+            if declared and index < len(declared):
+                self._bind(out, element.id, declared[index])
+            elif isinstance(value_expr, ast.Tuple) and index < len(value_expr.elts):
+                self._bind(out, element.id, self.eval(value_expr.elts[index], state, None))
+            else:
+                out.pop(element.id, None)
+
+    def _aug_assign(self, stmt, state):
+        if not isinstance(stmt.target, ast.Name):
+            return state
+        current = state.get(stmt.target.id, TOP)
+        value = self.eval(stmt.value, state, None)
+        result = self._binop(
+            ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value), stmt.op, current, value, None
+        )
+        out = dict(state)
+        self._bind(out, stmt.target.id, result)
+        return out
+
+    def _declared_units(self, stmt) -> list[Unit | None] | None:
+        raw = _stmt_annotation(stmt, self.env.annotations)
+        if raw is None:
+            return None
+        specs = _parse_value_spec(raw)
+        return specs if any(s is not None for s in specs) else None
+
+    @staticmethod
+    def _bind(state: dict, name: str, unit) -> None:
+        if unit is TOP or unit is None:
+            state.pop(name, None)
+        else:
+            state[name] = unit
+
+    def _clear_targets(self, target, state):
+        names = [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
+        if not any(name in state for name in names):
+            return state
+        out = dict(state)
+        for name in names:
+            out.pop(name, None)
+        return out
+
+    @staticmethod
+    def _without(state: dict, name: str):
+        if name not in state:
+            return state
+        out = dict(state)
+        out.pop(name)
+        return out
+
+
+# -- the rule ----------------------------------------------------------------
+
+
+@register
+class UnitMismatchRule(Rule):
+    id = "unit-mismatch"
+    description = (
+        "dimensioned arithmetic (flops/bytes/seconds) mixes incompatible units "
+        "along some control-flow path"
+    )
+
+    def check(self, module):
+        env = _Environment(module)
+        reported: set[tuple[int, int, str]] = set()
+        for graph in cfgs_for(module):
+            yield from self._check_graph(module, env, graph, reported)
+
+    def _check_graph(self, module, env: _Environment, graph: FunctionGraph, reported: set):
+        fn_params: dict[str, Unit] = {}
+        return_unit: Unit | None = None
+        if graph.node is not None:
+            raw = _def_annotation(graph.node, env.annotations)
+            if raw is not None:
+                fn_params, return_unit = _parse_def_spec(raw)
+        analysis = _UnitAnalysis(env, fn_params)
+        result = run_forward(graph.cfg, analysis)
+
+        findings: list[Finding] = []
+
+        def report(node, message):
+            key = (node.lineno, node.col_offset, message)
+            if key not in reported:
+                reported.add(key)
+                findings.append(self.finding(module, node, message))
+
+        for block in graph.cfg.blocks:
+            if block.id not in result.in_states:
+                continue  # unreachable: no trustworthy state to judge with
+            state = result.in_states[block.id]
+            for element in block.elements:
+                self._check_element(analysis, env, element, state, return_unit, report)
+                state = analysis.transfer(element, state)
+        yield from findings
+
+    def _check_element(self, analysis, env, element, state, return_unit, report):
+        if isinstance(element, Test):
+            analysis.eval(element.expr, state, report)
+            return
+        if isinstance(element, (ForBind, WithExit, ExceptBind)):
+            return
+        if isinstance(element, WithEnter):
+            analysis.eval(element.item.context_expr, state, report)
+            return
+        if isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own graphs
+        if isinstance(element, ast.Return):
+            if element.value is None:
+                return
+            value = analysis.eval(element.value, state, report)
+            if return_unit is not None and incompatible(value, return_unit):
+                report(
+                    element,
+                    f"returns {unit_name(value)} from a function declared "
+                    f"-> {unit_name(return_unit)}",
+                )
+            return
+        if isinstance(element, (ast.Assign, ast.AnnAssign)):
+            value_expr = element.value
+            if value_expr is None:
+                return
+            value = analysis.eval(value_expr, state, report)
+            declared = analysis._declared_units(element)
+            if declared and len(declared) == 1 and declared[0] is not None:
+                if incompatible(value, declared[0]):
+                    report(
+                        element,
+                        f"assigns {unit_name(value)} to a target annotated "
+                        f"# unit: {unit_name(declared[0])}",
+                    )
+            return
+        if isinstance(element, ast.AugAssign):
+            current = state.get(element.target.id, TOP) if isinstance(
+                element.target, ast.Name
+            ) else TOP
+            value = analysis.eval(element.value, state, report)
+            if isinstance(element.op, (ast.Add, ast.Sub)) and incompatible(current, value):
+                verb = "adds" if isinstance(element.op, ast.Add) else "subtracts"
+                report(element, f"{verb} {unit_name(current)} and {unit_name(value)}")
+            return
+        if isinstance(element, ast.Expr):
+            analysis.eval(element.value, state, report)
+            return
+        if isinstance(element, ast.Assert):
+            analysis.eval(element.test, state, report)
+            return
+        for child in ast.iter_child_nodes(element):
+            if isinstance(child, ast.expr):
+                analysis.eval(child, state, report)

@@ -42,6 +42,9 @@ def render_statistics(stats: CheckStats) -> str:
         f"  cache misses:     {stats.cache_misses}",
         f"  parallel jobs:    {stats.jobs}",
         f"  wall time:        {stats.wall_seconds:.3f}s",
+        f"  flow CFGs built:  {stats.flow_cfgs}",
+        f"  flow blocks:      {stats.flow_blocks}",
+        f"  flow iterations:  {stats.flow_iterations}",
     ]
     if stats.findings_per_rule:
         lines.append("  findings by rule:")

@@ -1,0 +1,406 @@
+"""CFG construction edge cases and fixpoint termination.
+
+The structural assertions use two tiny analyses run through the real
+fixpoint engine rather than poking at block ids (which are an
+implementation detail): *must-pass* (does every path from entry to a
+block cross a marker element?) and *may-pass* (does some path?).
+"""
+
+import ast
+import textwrap
+
+from repro.staticcheck.flow import (
+    ForwardAnalysis,
+    build_cfgs,
+    run_forward,
+)
+from repro.staticcheck.flow import cfg as cfgmod
+from repro.staticcheck.flow.cfg import ForBind, WithExit, build_cfg
+
+
+def graphs_of(src):
+    tree = ast.parse(textwrap.dedent(src))
+    return {g.qualname: g for g in build_cfgs(tree)}
+
+
+def cfg_of(src, name="f"):
+    return graphs_of(src)[name].cfg
+
+
+def blocks_with(cfg, pred):
+    return [b for b in cfg.blocks if any(pred(e) for e in b.elements)]
+
+
+def assigns(name):
+    """Element predicate: ``ast.Assign`` whose sole target is ``name``."""
+
+    def pred(element):
+        return (
+            isinstance(element, ast.Assign)
+            and len(element.targets) == 1
+            and isinstance(element.targets[0], ast.Name)
+            and element.targets[0].id == name
+        )
+
+    return pred
+
+
+class _PathAnalysis(ForwardAnalysis):
+    """Tracks whether paths cross any element matching ``marker``.
+
+    ``must=True``: state is True iff *every* path so far crossed it.
+    ``must=False``: state is True iff *some* path crossed it.
+    """
+
+    def __init__(self, marker, *, must):
+        self.marker = marker
+        self.must = must
+
+    def initial(self):
+        return False
+
+    def join(self, a, b):
+        return (a and b) if self.must else (a or b)
+
+    def transfer(self, element, state):
+        return True if self.marker(element) else state
+
+    def at_exit(self, cfg):
+        result = run_forward(cfg, self)
+        return result.in_states.get(cfg.exit)
+
+
+def must_pass(cfg, marker):
+    """True iff every entry->exit path crosses a matching element."""
+    return _PathAnalysis(marker, must=True).at_exit(cfg)
+
+
+def may_pass(cfg, marker):
+    """True iff some entry->exit path crosses a matching element."""
+    return _PathAnalysis(marker, must=False).at_exit(cfg)
+
+
+class TestTryFinally:
+    def test_return_is_routed_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    if x:
+                        return 1
+                    return 2
+                finally:
+                    done = 1
+            """
+        )
+        assert must_pass(cfg, assigns("done")) is True
+
+    def test_exception_path_is_routed_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    y = risky(x)
+                finally:
+                    done = 1
+            """
+        )
+        assert must_pass(cfg, assigns("done")) is True
+
+    def test_break_and_continue_cross_enclosing_finally(self):
+        """Every path crossing a break/continue also crosses the finally.
+
+        (An unconditional must-pass would be wrong: ``xs`` may be empty
+        and the loop body never run.)
+        """
+        cfg = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    try:
+                        if x:
+                            broke = 1
+                            break
+                        cont = 1
+                        continue
+                    finally:
+                        done = 1
+            """
+        )
+
+        class PathSets(ForwardAnalysis):
+            """State: the distinct marker-sets achievable along some path."""
+
+            MARKERS = {name: assigns(name) for name in ("broke", "cont", "done")}
+
+            def initial(self):
+                return frozenset({frozenset()})
+
+            def join(self, a, b):
+                return a | b
+
+            def transfer(self, element, state):
+                hit = {n for n, pred in self.MARKERS.items() if pred(element)}
+                if not hit:
+                    return state
+                return frozenset(s | hit for s in state)
+
+        paths = run_forward(cfg, PathSets()).in_states[cfg.exit]
+        assert any("broke" in s for s in paths)
+        assert any("cont" in s for s in paths)
+        assert all("done" in s for s in paths if "broke" in s)
+        assert all("done" in s for s in paths if "cont" in s)
+
+    def test_nested_finally_chains_outward(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    try:
+                        return risky(x)
+                    finally:
+                        inner = 1
+                finally:
+                    outer = 1
+            """
+        )
+        assert must_pass(cfg, assigns("inner")) is True
+        assert must_pass(cfg, assigns("outer")) is True
+
+    def test_handler_sees_pre_state_of_raising_assignment(self):
+        """The exception edge leaves *before* the assignment element."""
+        cfg = cfg_of(
+            """
+            def f(p):
+                try:
+                    handle = risky(p)
+                except ValueError:
+                    recovered = 1
+            """
+        )
+        analysis = _PathAnalysis(assigns("handle"), must=False)
+        result = run_forward(cfg, analysis)
+        (handler_block,) = blocks_with(cfg, assigns("recovered"))
+        # No path into the handler has executed the binding.
+        assert result.in_states[handler_block.id] is False
+        # ... but the normal path to exit has (join at exit is a may-join).
+        assert may_pass(cfg, assigns("handle")) is True
+
+
+class TestWith:
+    def test_nested_with_exits_both_contexts_on_every_path(self):
+        cfg = cfg_of(
+            """
+            def f(p, q):
+                with open(p) as a:
+                    with open(q) as b:
+                        use(a, b)
+            """
+        )
+        exits = blocks_with(cfg, lambda e: isinstance(e, WithExit))
+        names = [
+            e.item.optional_vars.id
+            for b in exits
+            for e in b.elements
+            if isinstance(e, WithExit)
+        ]
+        assert sorted(names) == ["a", "b"]
+        for name in ("a", "b"):
+
+            def is_exit(element, name=name):
+                return (
+                    isinstance(element, WithExit)
+                    and element.item.optional_vars.id == name
+                )
+
+            assert must_pass(cfg, is_exit) is True
+
+    def test_multi_item_with_builds_one_exit_per_item(self):
+        cfg = cfg_of(
+            """
+            def f(p, q):
+                with open(p) as a, open(q) as b:
+                    use(a, b)
+            """
+        )
+        count = sum(
+            isinstance(e, WithExit) for b in cfg.blocks for e in b.elements
+        )
+        assert count == 2
+
+    def test_return_inside_with_crosses_the_exit(self):
+        cfg = cfg_of(
+            """
+            def f(p):
+                with open(p) as a:
+                    return a.read()
+            """
+        )
+        assert must_pass(cfg, lambda e: isinstance(e, WithExit)) is True
+
+
+class TestLoops:
+    LOOP_ELSE = """
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+            else:
+                exhausted = 1
+            after = 1
+    """
+
+    def test_loop_else_is_skipped_by_break(self):
+        cfg = cfg_of(self.LOOP_ELSE)
+        assert may_pass(cfg, assigns("exhausted")) is True
+        assert must_pass(cfg, assigns("exhausted")) is False  # break path
+        assert must_pass(cfg, assigns("after")) is True
+
+    def test_loop_else_always_runs_without_break(self):
+        cfg = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    y = x
+                else:
+                    exhausted = 1
+            """
+        )
+        assert must_pass(cfg, assigns("exhausted")) is True
+
+    def test_while_true_without_break_makes_exit_unreachable(self):
+        cfg = cfg_of(
+            """
+            def f():
+                while True:
+                    spin = 1
+            """
+        )
+        result = run_forward(cfg, _PathAnalysis(assigns("spin"), must=False))
+        assert not result.reached(cfg.exit)
+        assert result.iterations < 64 * len(cfg.blocks) + 256
+
+    def test_while_true_with_break_reaches_exit(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while True:
+                    if x:
+                        break
+            """
+        )
+        assert run_forward(
+            _cfg := cfg, _PathAnalysis(assigns("never"), must=False)
+        ).reached(_cfg.exit)
+
+    def test_comprehension_builds_no_loop_header(self):
+        """Comprehensions are opaque expressions: no ForBind, no Test, and
+        no back edge — Python 3 scoping means they bind nothing here."""
+        cfg = cfg_of(
+            """
+            def f(xs):
+                ys = [x * 2 for x in xs if x]
+                return ys
+            """
+        )
+        assert blocks_with(cfg, lambda e: isinstance(e, (ForBind, cfgmod.Test))) == []
+
+
+class TestUnreachableCode:
+    def test_code_after_return_gets_blocks_but_stays_unreached(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                dead = 1
+            """
+        )
+        (dead_block,) = blocks_with(cfg, assigns("dead"))
+        result = run_forward(cfg, _PathAnalysis(assigns("dead"), must=False))
+        assert not result.reached(dead_block.id)
+        assert may_pass(cfg, assigns("dead")) is False
+
+    def test_fixpoint_terminates_on_unreachable_loop_nest(self):
+        cfg = cfg_of(
+            """
+            def f(xs):
+                raise ValueError
+                for x in xs:
+                    while x:
+                        x -= 1
+            """
+        )
+        result = run_forward(cfg, _PathAnalysis(assigns("x"), must=False))
+        assert result.iterations < 64 * len(cfg.blocks) + 256
+
+    def test_growing_state_hits_cap_not_hang(self):
+        """A lattice of unbounded height degrades into the backstop cap."""
+
+        class Diverging(ForwardAnalysis):
+            def initial(self):
+                return 0
+
+            def join(self, a, b):
+                return max(a, b)
+
+            def transfer(self, element, state):
+                return state + 1  # never converges around the back edge
+
+        cfg = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    y = x
+            """
+        )
+        result = run_forward(cfg, Diverging())
+        assert result.iterations == 64 * len(cfg.blocks) + 256
+
+
+class TestGraphShape:
+    def test_build_cfg_accepts_a_bare_statement_list(self):
+        tree = ast.parse("x = 1\nif x:\n    y = 2\n")
+        cfg = build_cfg(tree.body)
+        assert must_pass(cfg, assigns("x")) is True
+        assert must_pass(cfg, assigns("y")) is False
+        assert may_pass(cfg, assigns("y")) is True
+
+    def test_every_function_and_module_gets_a_graph(self):
+        graphs = graphs_of(
+            """
+            top = 1
+
+            def outer():
+                def inner():
+                    return 1
+                return inner
+
+            class C:
+                def method(self):
+                    return 2
+            """
+        )
+        assert set(graphs) == {"<module>", "outer", "outer.inner", "C.method"}
+
+    def test_edges_point_at_real_blocks(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    for i in range(x):
+                        if i:
+                            continue
+                        with open(i) as fh:
+                            return fh
+                except OSError:
+                    pass
+                finally:
+                    x = 0
+                return None
+            """
+        )
+        ids = {b.id for b in cfg.blocks}
+        for block in cfg.blocks:
+            assert block.succs <= ids
+        preds = cfg.preds()
+        assert set(preds) == ids

@@ -1,0 +1,94 @@
+"""Warm-cache behaviour of the flow tier.
+
+The acceptance criterion for the dataflow tier's cache integration:
+editing *only* a ``# unit:`` annotation line in one module must
+invalidate its dependents on the next warm run — the annotation is
+analysis input even though it is dead weight to the Python runtime.
+"""
+
+import textwrap
+
+from repro.staticcheck import check_paths, render_json, resolve_rules
+
+FLOW_RULES = ["unit-mismatch", "resource-leak", "double-release"]
+
+
+def make_project(tmp_path, *, ret="flops"):
+    """pkg.use -> pkg.units (import edge); pkg.other standalone."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "units.py").write_text(
+        textwrap.dedent(
+            f"""
+            def node_flops(raw):  # unit: raw={ret} -> {ret}
+                return raw
+            """
+        )
+    )
+    (pkg / "use.py").write_text(
+        textwrap.dedent(
+            """
+            from pkg.units import node_flops
+
+
+            def mix(raw, duration):  # unit: duration=s
+                return node_flops(raw) + duration
+            """
+        )
+    )
+    (pkg / "other.py").write_text("OTHER = 1\n")
+    return pkg
+
+
+def check(pkg, cache):
+    return check_paths([pkg], cache_path=cache, rules=resolve_rules(select=FLOW_RULES))
+
+
+class TestAnnotationInvalidation:
+    def test_unit_line_edit_reanalyzes_dependents(self, tmp_path):
+        pkg = make_project(tmp_path, ret="flops")
+        cache = tmp_path / "cache.json"
+
+        cold = check(pkg, cache)
+        assert [f.rule_id for f in cold.findings] == ["unit-mismatch"]
+        assert cold.findings[0].path.endswith("use.py")
+
+        # Edit ONLY the annotation: node_flops now declares -> s, so the
+        # consumer's ``+ duration`` becomes well-typed.
+        make_project(tmp_path, ret="s")
+        warm = check(pkg, cache)
+        assert warm.findings == []
+        # units.py went cold (content hash) and use.py went cold (its
+        # dependency's hash changed); __init__ and other stay cached.
+        assert warm.stats.cache_misses == 2
+        assert warm.stats.cache_hits == 2
+
+    def test_untouched_warm_run_reproduces_cold_output(self, tmp_path):
+        pkg = make_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = check(pkg, cache)
+        warm = check(pkg, cache)
+        assert warm.stats.cache_hits == 4 and warm.stats.cache_misses == 0
+        assert render_json(warm) == render_json(cold)
+
+
+class TestFlowStatistics:
+    def test_cold_run_counts_flow_work(self, tmp_path):
+        pkg = make_project(tmp_path)
+        cold = check(pkg, tmp_path / "cache.json")
+        # 4 files, each with a module graph; two also have a function.
+        assert cold.stats.flow_cfgs >= 6
+        assert cold.stats.flow_blocks >= cold.stats.flow_cfgs
+        assert cold.stats.flow_iterations > 0
+
+    def test_warm_run_counts_no_flow_work(self, tmp_path):
+        """Flow counters cover cold files only: a fully-warm run rebuilds
+        no CFGs and runs no fixpoints."""
+        pkg = make_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        check(pkg, cache)
+        warm = check(pkg, cache)
+        assert warm.stats.flow_cfgs == 0
+        assert warm.stats.flow_blocks == 0
+        assert warm.stats.flow_iterations == 0

@@ -12,7 +12,7 @@ persistence, or ``__all__`` exports nothing imports.  Exactly as
 
 from pathlib import Path
 
-from repro.staticcheck import check_paths, resolve_project_rules
+from repro.staticcheck import check_paths, resolve_project_rules, resolve_rules
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 REPO_SRC = REPO_ROOT / "src" / "repro"
@@ -45,6 +45,32 @@ def test_project_rules_were_active():
         "tainted-persistence",
         "dead-export",
     }
+
+
+def test_flow_rules_were_active():
+    """The gate runs the flow-sensitive tier: the roofline/counters unit
+    annotations and the resource lifecycles in ``src/repro`` are being
+    checked, not just the single-statement rules."""
+    assert {r.id for r in resolve_rules()} >= {
+        "unit-mismatch",
+        "resource-leak",
+        "double-release",
+    }
+
+
+def test_seeded_flow_violation_is_caught(tmp_path):
+    """End-to-end: the gate bites on a flow-tier violation too."""
+    bad = tmp_path / "leaky.py"
+    bad.write_text(
+        "import SharedArray\n"
+        "def _f(name, xs):\n"
+        "    seg = SharedArray.create(name, len(xs))\n"
+        "    fill(seg, xs)\n"
+        "    seg.close()\n"
+    )
+    result = check_paths([tmp_path])
+    assert [f.rule_id for f in result.findings] == ["resource-leak"]
+    assert result.findings[0].line == 3
 
 
 def test_seeded_violation_is_caught(tmp_path):

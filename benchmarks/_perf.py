@@ -1,0 +1,29 @@
+"""Shared wall-time helpers for the throughput benches.
+
+All durations use :func:`time.perf_counter` (monotonic, high resolution);
+reported times are best-of-N to damp scheduler noise, which is the right
+statistic for a ratchet (the best observed run is the least contaminated
+estimate of the code's cost).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def best_time(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -> float:  # unit: repeats=1, warmup=1 -> s
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()  # unit: s
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def throughput(n_items: int, seconds: float) -> float:  # unit: n_items=1, seconds=s -> 1/s
+    """Items per second; guards against a clock tick of zero."""
+    return n_items / max(seconds, 1e-12)

@@ -1,0 +1,239 @@
+"""ML-core throughput: the BENCH_mlcore.json perf trajectory.
+
+Not a paper figure — the per-PR performance record for the from-scratch
+ML substrate (ROADMAP item 4).  Every run measures train + infer
+throughput for the three classifier backends and the sentence embedder at
+fixed sizes and seeds, computes speedups against the preserved scalar
+references in :mod:`repro.mlcore.reference` / :mod:`repro.nlp.reference`,
+and rewrites ``BENCH_mlcore.json`` at the repo root.
+
+Ratcheting: absolute throughputs vary across machines, so the committed
+baseline is ratcheted on *speedup ratios* (vectorized vs scalar reference
+on the same machine, same run).  With ``REPRO_PERF_RATCHET=1`` (the CI
+benchmark job) the final test fails if a tracked speedup falls below the
+hard floor (2x for forest predict and embedder batch encode) or regresses
+more than 30% relative to the committed baseline.  The hard floors are
+the load-bearing gate; the relative band is wide because even same-machine
+speedup ratios wobble ~20-25% run to run (the scalar and vectorized sides
+respond differently to background load), and CI runners differ again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks._perf import best_time, throughput
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.kdtree import KDTree
+from repro.mlcore.knn import KNeighborsClassifier
+from repro.mlcore.reference import (
+    forest_predict_proba_scalar,
+    kdtree_query_scalar,
+)
+from repro.nlp.embedder import SentenceEmbedder
+from repro.nlp.reference import encode_scalar
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_mlcore.json"
+
+SEED = 2024
+KNN_TRAIN, KNN_QUERIES, KNN_K = 4000, 1000, 5
+KDTREE_DIM, BRUTE_DIM = 8, 64
+FOREST_TREES, FOREST_DEPTH = 40, 12
+FOREST_TRAIN, FOREST_DIM = 3000, 24
+#: online scoring batch — the serve loop classifies jobs in micro-batches
+FOREST_PREDICT_BATCH = 256
+EMBED_STRINGS, EMBED_DISTINCT = 2000, 100
+
+#: ISSUE acceptance floors: measured speedup over the pre-PR scalar paths
+HARD_FLOORS = {"forest_predict": 2.0, "embedder_cold": 2.0}
+#: ratcheted speedups may regress at most 30% vs the committed baseline —
+#: wide enough to absorb run-to-run ratio noise, tight enough that losing a
+#: vectorized path (speedup -> ~1x) still fails loudly above the hard floors
+RATCHET_TOLERANCE = 0.70
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "meta": {
+            "seed": SEED,
+            "knn": {
+                "n_train": KNN_TRAIN,
+                "n_queries": KNN_QUERIES,
+                "k": KNN_K,
+                "kdtree_dim": KDTREE_DIM,
+                "brute_dim": BRUTE_DIM,
+            },
+            "forest": {
+                "n_trees": FOREST_TREES,
+                "max_depth": FOREST_DEPTH,
+                "n_train": FOREST_TRAIN,
+                "dim": FOREST_DIM,
+                "predict_batch": FOREST_PREDICT_BATCH,
+            },
+            "embedder": {
+                "n_strings": EMBED_STRINGS,
+                "n_distinct": EMBED_DISTINCT,
+            },
+        }
+    }
+
+
+def _job_strings(rng, n, n_distinct):
+    """Synthetic submission feature strings, heavy repetition (real batches
+    of cluster jobs repeat the same submission template many times)."""
+    words = [
+        "srun", "mpirun", "gemm", "stream", "lbm", "fft", "cg", "bfs",
+        "gromacs", "vasp", "nodes=4", "ntasks=128", "mem=64G", "gpu",
+        "--exclusive", "ib0", "avx512", "omp=12",
+    ]
+    distinct = [
+        " ".join(rng.choice(words, size=rng.integers(3, 9))) + f" job{i}"
+        for i in range(n_distinct)
+    ]
+    return [distinct[int(j)] for j in rng.integers(0, n_distinct, size=n)]
+
+
+def test_knn_kdtree_throughput(results):
+    rng = np.random.default_rng(SEED)
+    X = rng.normal(size=(KNN_TRAIN, KDTREE_DIM))
+    y = (X[:, 0] > 0).astype(int)
+    Q = rng.normal(size=(KNN_QUERIES, KDTREE_DIM))
+
+    fit_s = best_time(
+        lambda: KNeighborsClassifier(KNN_K, algorithm="kd_tree").fit(X, y), repeats=3
+    )
+    knn = KNeighborsClassifier(KNN_K, algorithm="kd_tree").fit(X, y)
+    query_s = best_time(lambda: knn.kneighbors(Q))
+
+    tree = KDTree(X)
+    scalar_s = best_time(lambda: kdtree_query_scalar(tree, Q, k=KNN_K), repeats=2)
+    d_new, i_new = knn.kneighbors(Q)
+    d_ref, i_ref = kdtree_query_scalar(tree, Q, k=KNN_K)
+    assert np.array_equal(i_new, i_ref) and np.array_equal(d_new, d_ref)
+
+    results["knn_kdtree"] = {
+        "fit_s": fit_s,
+        "query_s": query_s,
+        "queries_per_s": throughput(KNN_QUERIES, query_s),
+        "speedup_vs_scalar": scalar_s / query_s,
+    }
+
+
+def test_knn_brute_throughput(results):
+    rng = np.random.default_rng(SEED)
+    X = rng.normal(size=(KNN_TRAIN, BRUTE_DIM))
+    y = (X[:, 0] > 0).astype(int)
+    Q = rng.normal(size=(KNN_QUERIES, BRUTE_DIM))
+
+    fit_s = best_time(
+        lambda: KNeighborsClassifier(KNN_K, algorithm="brute").fit(X, y), repeats=3
+    )
+    knn = KNeighborsClassifier(KNN_K, algorithm="brute").fit(X, y)
+    query_s = best_time(lambda: knn.kneighbors(Q))
+
+    results["knn_brute"] = {
+        "fit_s": fit_s,
+        "query_s": query_s,
+        "queries_per_s": throughput(KNN_QUERIES, query_s),
+    }
+
+
+def test_forest_throughput(results):
+    rng = np.random.default_rng(SEED)
+    X = rng.normal(size=(FOREST_TRAIN, FOREST_DIM)).astype(np.float32)
+    y = (X[:, 0] + X[:, 1] * X[:, 2] + rng.normal(scale=0.5, size=FOREST_TRAIN) > 0)
+
+    def make():
+        return RandomForestClassifier(
+            FOREST_TREES,
+            max_depth=FOREST_DEPTH,
+            splitter="hist",
+            random_state=SEED,
+        )
+
+    fit_s = best_time(lambda: make().fit(X, y.astype(int)), repeats=3, warmup=1)
+    forest = make().fit(X, y.astype(int))
+    Q = rng.normal(size=(FOREST_PREDICT_BATCH, FOREST_DIM)).astype(np.float32)
+
+    predict_s = best_time(lambda: forest.predict_proba(Q), repeats=10)
+    scalar_s = best_time(lambda: forest_predict_proba_scalar(forest, Q), repeats=5)
+    assert np.array_equal(forest.predict_proba(Q), forest_predict_proba_scalar(forest, Q))
+
+    results["forest"] = {
+        "fit_s": fit_s,
+        "fit_samples_per_s": throughput(FOREST_TRAIN, fit_s),
+        "predict_s": predict_s,
+        "predict_jobs_per_s": throughput(FOREST_PREDICT_BATCH, predict_s),
+        "speedup_vs_scalar": scalar_s / predict_s,
+    }
+
+
+def test_embedder_throughput(results):
+    rng = np.random.default_rng(SEED)
+    texts = _job_strings(rng, EMBED_STRINGS, EMBED_DISTINCT)
+
+    def cold_encode():
+        return SentenceEmbedder().encode(texts)
+
+    def cold_scalar():
+        return encode_scalar(SentenceEmbedder(), texts)
+
+    cold_s = best_time(cold_encode, repeats=3)
+    scalar_s = best_time(cold_scalar, repeats=2)
+    assert np.array_equal(cold_encode(), cold_scalar())
+
+    warm = SentenceEmbedder()
+    warm.encode(texts)  # prime the string cache
+    warm_s = best_time(lambda: warm.encode(texts))
+
+    results["embedder"] = {
+        "cold_s": cold_s,
+        "cold_strings_per_s": throughput(EMBED_STRINGS, cold_s),
+        "warm_s": warm_s,
+        "warm_strings_per_s": throughput(EMBED_STRINGS, warm_s),
+        "speedup_vs_scalar": scalar_s / cold_s,
+    }
+
+
+def test_write_bench_json(results):
+    """Write the trajectory file; ratchet speedups when asked to.
+
+    Runs last (pytest executes this module top to bottom), after every
+    section above has filled in its measurements.
+    """
+    for section in ("knn_kdtree", "knn_brute", "forest", "embedder"):
+        assert section in results, f"bench section {section!r} did not run"
+
+    speedups = {
+        "knn_kdtree_query": results["knn_kdtree"]["speedup_vs_scalar"],
+        "forest_predict": results["forest"]["speedup_vs_scalar"],
+        "embedder_cold": results["embedder"]["speedup_vs_scalar"],
+    }
+    results["speedups_vs_scalar"] = speedups
+
+    baseline = None
+    if BENCH_PATH.exists():
+        baseline = json.loads(BENCH_PATH.read_text())
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    if not os.environ.get("REPRO_PERF_RATCHET"):
+        return
+    failures = []
+    for name, floor in HARD_FLOORS.items():
+        if speedups[name] < floor:
+            failures.append(f"{name} speedup {speedups[name]:.2f}x < floor {floor}x")
+    if baseline and "speedups_vs_scalar" in baseline:
+        for name, new in speedups.items():
+            old = baseline["speedups_vs_scalar"].get(name)
+            if old and new < RATCHET_TOLERANCE * old:
+                failures.append(
+                    f"{name} speedup regressed {new:.2f}x < "
+                    f"{RATCHET_TOLERANCE:.0%} of baseline {old:.2f}x"
+                )
+    assert not failures, "; ".join(failures)

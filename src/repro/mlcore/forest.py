@@ -8,6 +8,13 @@ is what the paper's RF instantiation uses via the sklearn defaults.
 With ``splitter="hist"`` the expensive feature quantization is done once
 and shared by all trees.  Optional out-of-bag scoring estimates
 generalization without a held-out set.
+
+Prediction is fully vectorized across the whole ensemble: after fit the
+trees' flat node arrays are packed into padded ``(n_trees, max_nodes)``
+matrices (leaves rewired to self-loops), and one level-order sweep routes
+every (tree, sample) pair simultaneously — ``max_depth`` fancy-indexing
+steps total instead of a Python loop over trees.  The historical per-tree
+prediction loop is preserved in :mod:`repro.mlcore.reference`.
 """
 
 from __future__ import annotations
@@ -17,9 +24,64 @@ import numpy as np
 from repro.mlcore.base import check_is_fitted, check_random_state, check_X_y, encode_labels
 from repro.mlcore.histogram import FeatureQuantizer
 from repro.mlcore.tree import DecisionTreeClassifier
-from repro.parallel.executor import ExecutorConfig, parallel_map
+from repro.parallel.executor import ExecutorConfig, parallel_map_sharded
 
 __all__ = ["RandomForestClassifier"]
+
+_LEAF = -1
+
+
+class _PackedForest:
+    """Ensemble-wide flat node arrays for level-order batch prediction.
+
+    Every tree's ``feature_/threshold_/children_*`` arrays are concatenated
+    into one flat node pool with *global* node ids (tree t's node j lives
+    at ``offset[t] + j``, and child pointers are rewritten to global ids at
+    pack time).  Prediction routes all (tree, sample) pairs together: one
+    level-order step is a single gather + compare + ``np.where`` over the
+    still-active pairs, and pairs drop out of the active set as they reach
+    leaves — the ensemble-fused version of the narrowing loop in
+    :meth:`DecisionTreeClassifier.apply`, with the Python-per-tree
+    overhead removed.
+    """
+
+    def __init__(self, trees: list[DecisionTreeClassifier]) -> None:
+        sizes = np.array([t.feature_.shape[0] for t in trees], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self.feature = np.concatenate([t.feature_ for t in trees])
+        is_leaf = self.feature == _LEAF
+        self.feature = np.where(is_leaf, 0, self.feature)
+        self.threshold = np.concatenate([t.threshold_ for t in trees])
+        # child pointers to leaves are bitwise-complement encoded (~id < 0),
+        # so the traversal's "reached a leaf?" test is a sign check on the
+        # freshly gathered child instead of another is_leaf gather
+        left = np.concatenate([t.children_left_ + o for t, o in zip(trees, offsets)])
+        right = np.concatenate([t.children_right_ + o for t, o in zip(trees, offsets)])
+        self.left = np.where(is_leaf[np.where(is_leaf, 0, left)] | is_leaf, ~left, left)
+        self.right = np.where(
+            is_leaf[np.where(is_leaf, 0, right)] | is_leaf, ~right, right
+        )
+        self.roots = np.where(is_leaf[offsets], ~offsets, offsets)
+        values = np.concatenate([t.value_ for t in trees])
+        self.leaf_proba = values / values.sum(axis=1, keepdims=True)
+        self.n_trees = len(trees)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Soft-vote probabilities, one fused narrowing sweep for the ensemble."""
+        nq = X.shape[0]
+        # flat (tree-major) pair layout: pair p = (tree p // nq, sample p % nq)
+        node = np.repeat(self.roots, nq)
+        col_of = np.tile(np.arange(nq), self.n_trees)
+        active = np.flatnonzero(node >= 0)
+        while active.size:
+            gn = node[active]
+            go_left = X[col_of[active], self.feature[gn]] < self.threshold[gn]
+            nxt = np.where(go_left, self.left[gn], self.right[gn])
+            node[active] = nxt
+            active = active[nxt >= 0]
+        np.bitwise_not(node, out=node)  # decode: every pair ended on ~leaf_id
+        probs = self.leaf_proba[node].reshape(self.n_trees, nq, -1)
+        return probs.sum(axis=0) / self.n_trees
 
 
 class RandomForestClassifier:
@@ -77,6 +139,7 @@ class RandomForestClassifier:
         self.n_jobs = int(n_jobs)
         self.classes_: np.ndarray | None = None
         self.estimators_: list[DecisionTreeClassifier] = []
+        self._packed: _PackedForest | None = None
 
     def _make_tree(self, seed: int) -> DecisionTreeClassifier:
         return DecisionTreeClassifier(
@@ -123,8 +186,12 @@ class RandomForestClassifier:
             backend="thread" if self.n_jobs > 1 else "serial",
             n_workers=self.n_jobs,
         )
-        # staticcheck: ignore[unpicklable-task] - exec_cfg above pins thread/serial; the closure shares X and hist_cache by reference on purpose
-        self.estimators_ = parallel_map(fit_one, range(self.n_estimators), config=exec_cfg)
+        # exec_cfg pins thread/serial, so the closure may share X and
+        # hist_cache by reference without crossing a process boundary
+        self.estimators_ = parallel_map_sharded(
+            fit_one, range(self.n_estimators), config=exec_cfg
+        )
+        self._packed = None  # stale after refit; rebuilt lazily on predict
 
         if oob_votes is not None and self.bootstrap:
             for tree, idx in zip(self.estimators_, bootstraps):
@@ -143,13 +210,16 @@ class RandomForestClassifier:
         return self
 
     def predict_proba(self, X) -> np.ndarray:
-        """Mean of per-tree class probabilities."""
+        """Mean of per-tree class probabilities (packed level-order sweep)."""
         check_is_fitted(self, "classes_")
         X = np.asarray(X, dtype=np.float32)
-        proba = self.estimators_[0].predict_proba(X)
-        for tree in self.estimators_[1:]:
-            proba += tree.predict_proba(X)
-        return proba / len(self.estimators_)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_in_}), got {X.shape}"
+            )
+        if self._packed is None:
+            self._packed = _PackedForest(self.estimators_)
+        return self._packed.predict_proba(X)
 
     def predict(self, X) -> np.ndarray:
         """Soft-voted class labels."""

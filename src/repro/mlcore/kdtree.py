@@ -8,20 +8,65 @@ the substrate for low-dimensional feature encodings and for the backend
 ablation benchmark.
 
 Build: recursive median split along the largest-spread dimension; leaves
-hold up to ``leaf_size`` points.  Query: branch-and-bound with a bounded
-max-heap over *reduced* Minkowski distances (p-th powers, no root until
-the end), leaf scans fully vectorized.
+hold up to ``leaf_size`` points, and every node records the bounding box
+of its subtree.  Query: *batched* branch-and-bound — a whole chunk of
+queries descends the tree together (the group is never split, so the
+per-node work stays one vectorized call), each node visit drops the
+queries whose reduced distance to the node's bounding box already exceeds
+their current k-th best, and each leaf is scored against all surviving
+queries with one matrix Minkowski distance.  Box lower bounds accumulate
+every ancestor constraint, so the batched traversal prunes at least as
+hard as the classic single-coordinate hyperplane gap.
+
+Tie-breaking is canonical across all neighbour backends: the k reported
+neighbours are the k smallest ``(distance, index)`` pairs in lexicographic
+order, so equidistant points resolve to the smaller training index.  The
+pre-vectorization per-query traversal is preserved in
+:mod:`repro.mlcore.reference` as the parity/benchmark oracle.
 """
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
+
+from repro.parallel.chunking import chunk_indices
 
 __all__ = ["KDTree"]
 
 _LEAF = -1
+
+
+def reduced_minkowski(diff: np.ndarray, p: float) -> np.ndarray:
+    """Reduced (root-free) Minkowski distance over the last axis of ``|diff|``.
+
+    ``p`` is a user parameter, not a computed float, so the exact
+    comparisons below are fast-path dispatch: p=2/p=1 select cheaper
+    kernels with identical results.
+    """
+    if p == 2.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
+        return np.einsum("...i,...i->...", diff, diff)
+    if p == 1.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
+        return diff.sum(axis=-1)
+    return (diff**p).sum(axis=-1)
+
+
+def lexicographic_topk(rd: np.ndarray, idx: np.ndarray, k: int):
+    """Row-wise k smallest ``(rd, idx)`` pairs, lexicographic order.
+
+    ``rd``/``idx`` are ``(n_rows, m)`` candidate reduced distances and
+    training indices; returns ``(rd_k, idx_k)`` of shape ``(n_rows, k)``
+    sorted ascending by distance, ties broken toward the smaller index.
+    Implemented as a stable double argsort: sorting by index first and
+    then stably by distance leaves equal-distance runs index-ascending.
+    """
+    order_idx = np.argsort(idx, axis=1, kind="stable")
+    rd_by_idx = np.take_along_axis(rd, order_idx, axis=1)
+    idx_by_idx = np.take_along_axis(idx, order_idx, axis=1)
+    order_rd = np.argsort(rd_by_idx, axis=1, kind="stable")[:, :k]
+    return (
+        np.take_along_axis(rd_by_idx, order_rd, axis=1),
+        np.take_along_axis(idx_by_idx, order_rd, axis=1),
+    )
 
 
 class KDTree:
@@ -33,16 +78,22 @@ class KDTree:
         Point matrix; a float64 copy is stored.
     leaf_size:
         Maximum points per leaf.
+    query_chunk_size:
+        Queries traversed together per batch (bounds the ``(chunk, leaf)``
+        distance matrices and keeps the active sets cache-resident).
     """
 
-    def __init__(self, data, leaf_size: int = 32) -> None:
+    def __init__(self, data, leaf_size: int = 32, query_chunk_size: int = 256) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError("data must be a non-empty 2-D array")
         if leaf_size < 1:
             raise ValueError("leaf_size must be >= 1")
+        if query_chunk_size < 1:
+            raise ValueError("query_chunk_size must be >= 1")
         self.data = np.ascontiguousarray(data)
         self.leaf_size = int(leaf_size)
+        self.query_chunk_size = int(query_chunk_size)
         n = data.shape[0]
         self._perm = np.arange(n, dtype=np.int64)
         # node arrays, grown by the builder
@@ -53,6 +104,31 @@ class KDTree:
         self._start: list[int] = []
         self._end: list[int] = []
         self._build(0, n)
+        self._finalize_nodes()
+
+    def _finalize_nodes(self) -> None:
+        """Freeze node lists into arrays and compute per-subtree boxes.
+
+        Children are always appended after their parent, so one reverse
+        pass sees every child before its parent: leaves reduce their own
+        points, internal nodes combine their children's boxes.
+        """
+        self._dim_a = np.array(self._dim, dtype=np.int64)
+        self._left_a = np.array(self._left, dtype=np.int64)
+        self._right_a = np.array(self._right, dtype=np.int64)
+        nn = len(self._dim)
+        d = self.data.shape[1]
+        self._box_lo = np.empty((nn, d), dtype=np.float64)
+        self._box_hi = np.empty((nn, d), dtype=np.float64)
+        for node in range(nn - 1, -1, -1):
+            if self._dim[node] == _LEAF:
+                pts = self.data[self._perm[self._start[node] : self._end[node]]]
+                self._box_lo[node] = pts.min(axis=0)
+                self._box_hi[node] = pts.max(axis=0)
+            else:
+                left, right = self._left[node], self._right[node]
+                np.minimum(self._box_lo[left], self._box_lo[right], out=self._box_lo[node])
+                np.maximum(self._box_hi[left], self._box_hi[right], out=self._box_hi[node])
 
     # -- construction -------------------------------------------------------------
 
@@ -98,8 +174,8 @@ class KDTree:
         """k nearest neighbours of each row of ``X``.
 
         Returns ``(distances, indices)`` with shape ``(n_queries, k)``,
-        neighbours ordered nearest first.  ``p`` is the Minkowski order
-        (p >= 1, finite).
+        neighbours ordered nearest first (ties index-ascending).  ``p`` is
+        the Minkowski order (p >= 1, finite).
         """
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         if X.shape[1] != self.data.shape[1]:
@@ -111,52 +187,59 @@ class KDTree:
         nq = X.shape[0]
         dists = np.empty((nq, k), dtype=np.float64)
         idxs = np.empty((nq, k), dtype=np.int64)
-        for i in range(nq):
-            d, j = self._query_one(X[i], k, p)
-            dists[i] = d
-            idxs[i] = j
+        for lo, hi in chunk_indices(nq, self.query_chunk_size):
+            rd, jj = self._query_chunk(X[lo:hi], k, p)
+            dists[lo:hi] = rd ** (1.0 / p)
+            idxs[lo:hi] = jj
         return dists, idxs
 
-    def _reduced_leaf_dists(self, q: np.ndarray, start: int, end: int, p: float):
-        idx = self._perm[start:end]
-        diff = np.abs(self.data[idx] - q)
-        # exact fast-path dispatch on the Minkowski exponent (p is a user
-        # parameter, not a computed float): p=2/p=1 select cheaper kernels
-        if p == 2.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
-            rd = np.einsum("ij,ij->i", diff, diff)
-        elif p == 1.0:  # staticcheck: ignore[float-equality] - dispatch on exact parameter value
-            rd = diff.sum(axis=1)
-        else:
-            rd = (diff**p).sum(axis=1)
-        return rd, idx
+    def _leaf_scan(self, Q: np.ndarray, node: int, p: float):
+        """Reduced distances of every query row to every point of a leaf."""
+        idx = self._perm[self._start[node] : self._end[node]]
+        diff = np.abs(Q[:, None, :] - self.data[idx][None, :, :])
+        return reduced_minkowski(diff, p), idx
 
-    def _query_one(self, q: np.ndarray, k: int, p: float):
-        # heap of (-reduced_dist, index); holds current best k
-        heap: list[tuple[float, int]] = []
+    def _query_chunk(self, Q: np.ndarray, k: int, p: float):
+        """Batched branch-and-bound over one chunk of queries.
 
-        def visit(node: int) -> None:
-            dim = self._dim[node]
-            if dim == _LEAF:
-                rd, idx = self._reduced_leaf_dists(q, self._start[node], self._end[node], p)
-                for r, j in zip(rd, idx):
-                    if len(heap) < k:
-                        heapq.heappush(heap, (-r, int(j)))
-                    elif r < -heap[0][0]:
-                        heapq.heapreplace(heap, (-r, int(j)))
-                return
-            delta = q[dim] - self._split[node]
-            near, far = (
-                (self._left[node], self._right[node])
-                if delta < 0
-                else (self._right[node], self._left[node])
-            )
-            visit(near)
-            gap = abs(delta) ** p
-            if len(heap) < k or gap < -heap[0][0]:
-                visit(far)
-
-        visit(0)
-        out = sorted(((-negr, j) for negr, j in heap))
-        rd = np.array([r for r, _ in out])
-        jj = np.array([j for _, j in out], dtype=np.int64)
-        return rd ** (1.0 / p), jj
+        The traversal stack holds ``(node, queries)`` groups.  A popped
+        group first drops every query whose reduced distance to the node's
+        bounding box exceeds its current k-th best (``<=`` keeps boundary
+        ties alive for the lexicographic index rule); survivors either
+        scan the leaf in one matrix distance or descend, nearer child (by
+        group majority) first so bounds tighten before the far sibling is
+        re-checked.  The final k-set is an order-independent lexicographic
+        (rd, idx) top-k, so visiting order only affects pruning
+        efficiency, never results.
+        """
+        nq = Q.shape[0]
+        best_rd = np.full((nq, k), np.inf)
+        # sentinel index sorts after every real point until the slot fills
+        best_idx = np.full((nq, k), self.data.shape[0], dtype=np.int64)
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(nq))]
+        while stack:
+            node, qs = stack.pop()
+            Qs = Q[qs]
+            gap = np.maximum(self._box_lo[node] - Qs, Qs - self._box_hi[node])
+            np.maximum(gap, 0.0, out=gap)
+            keep = reduced_minkowski(gap, p) <= best_rd[qs, k - 1]
+            if not keep.any():
+                continue
+            qs = qs[keep]
+            if self._dim[node] == _LEAF:
+                rd, idx = self._leaf_scan(Q[qs], node, p)
+                cand_rd = np.concatenate([best_rd[qs], rd], axis=1)
+                cand_idx = np.concatenate(
+                    [best_idx[qs], np.broadcast_to(idx, rd.shape)], axis=1
+                )
+                best_rd[qs], best_idx[qs] = lexicographic_topk(cand_rd, cand_idx, k)
+                continue
+            delta = Q[qs, self._dim[node]] - self._split[node]
+            left, right = self._left[node], self._right[node]
+            if 2 * int(np.count_nonzero(delta < 0)) >= qs.size:
+                near, far = left, right
+            else:
+                near, far = right, left
+            stack.append((far, qs))  # LIFO: near child explored first
+            stack.append((near, qs))
+        return best_rd, best_idx

@@ -27,6 +27,42 @@ __all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
 _AUTO_KDTREE_MAX_DIM = 15
 
 
+def _lexicographic_argselect(d: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the k smallest ``(distance, index)`` pairs per row.
+
+    ``np.argpartition`` alone picks an *arbitrary* subset of the columns
+    tied at the k-th distance; every neighbour backend instead resolves
+    such boundary ties toward the smaller training index (the canonical
+    rule shared with :class:`repro.mlcore.kdtree.KDTree`).  Returned
+    columns are index-ascending, not distance-sorted.
+    """
+    nq, n = d.shape
+    if k >= n:
+        return np.broadcast_to(np.arange(n, dtype=np.int64), (nq, n)).copy()
+    part = np.argpartition(d, (k - 1, k), axis=1)
+    kth = np.take_along_axis(d, part[:, k - 1 : k], axis=1)
+    # rows whose k-th and (k+1)-th order statistics differ have a *unique*
+    # k-smallest set, so argpartition's arbitrary pick is already the
+    # canonical set — sorting its columns ascending finishes the job.  Only
+    # rows tied across the boundary need the full-width admission scan.
+    # (exact comparison of values copied out of the same array: this
+    # detects genuine ties at the selection boundary, not "close" floats)
+    out = np.sort(part[:, :k], axis=1).astype(np.int64)
+    ambiguous = np.flatnonzero(
+        (kth == np.take_along_axis(d, part[:, k : k + 1], axis=1)).ravel()
+    )
+    if ambiguous.size:
+        damb = d[ambiguous]
+        below = damb < kth[ambiguous]
+        at = damb == kth[ambiguous]
+        need = k - below.sum(axis=1, keepdims=True)
+        at &= np.cumsum(at, axis=1) <= need
+        rows, cols = np.nonzero(below | at)
+        del rows  # each ambiguous row holds exactly k columns, ascending
+        out[ambiguous] = cols.reshape(ambiguous.size, k)
+    return out
+
+
 class _NeighborsBase:
     """Shared neighbour-search machinery for k-NN estimators."""
 
@@ -107,14 +143,11 @@ class _NeighborsBase:
                 np.maximum(d, 0.0, out=d)
             else:
                 d = self._minkowski_reduced(q)
-            if k < n_train:
-                part = np.argpartition(d, k - 1, axis=1)[:, :k]
-            else:
-                part = np.broadcast_to(np.arange(n_train), (hi - lo, n_train)).copy()
-            dpart = np.take_along_axis(d, part, axis=1)
-            order = np.argsort(dpart, axis=1, kind="stable")
-            idx[lo:hi] = np.take_along_axis(part, order, axis=1)
-            dsorted = np.take_along_axis(dpart, order, axis=1)
+            sel_idx = _lexicographic_argselect(d, k)
+            dsel = np.take_along_axis(d, sel_idx, axis=1)
+            order = np.argsort(dsel, axis=1, kind="stable")
+            idx[lo:hi] = np.take_along_axis(sel_idx, order, axis=1)
+            dsorted = np.take_along_axis(dsel, order, axis=1)
             # staticcheck: ignore[float-equality] - dispatch on exact Minkowski parameter value
             dist[lo:hi] = dsorted ** (0.5 if self.p == 2.0 else 1.0 / self.p)
         return dist, idx

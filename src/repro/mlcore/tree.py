@@ -233,106 +233,135 @@ class DecisionTreeClassifier:
         return self
 
     # -- split finders ----------------------------------------------------------
+    #
+    # Both finders score *blocks* of candidate features in one vectorized
+    # pass: the per-position class counts come from a single cumulative sum
+    # over a (n, block, k) one-hot (exact) or a (block, bins, k) histogram
+    # (hist), and the criterion curve for every (feature, threshold) pair
+    # of the block is materialized at once.  Block sizes are chosen so the
+    # cumulative-count workspace stays bounded; iterating blocks in feature
+    # order with a strict ">" keeps the tie-breaking of the historical
+    # per-feature loop (first feature with the best rank wins).  The
+    # pre-vectorization per-feature scans are preserved in
+    # :mod:`repro.mlcore.reference` and pinned by the equivalence tests.
+
+    #: element budget for a split-finder block workspace (~32 MB of float64)
+    _SPLIT_BLOCK_ELEMS = 1 << 22
 
     def _best_split_exact(self, X, y_enc, idx, features, k):
-        """Sort-based scan; returns (feature, threshold, gain, left_mask) or None."""
+        """Sort-based scan, vectorized over feature blocks.
+
+        Returns (feature, threshold, gain, left_mask) or None.
+        """
         n = idx.size
         min_leaf = self.min_samples_leaf
         y_node = y_enc[idx]
         parent_imp = _impurity(np.bincount(y_node, minlength=k)[None, :], self.criterion)[0]
         best_score = -np.inf
         best = None
-        pos_range = np.arange(1, n, dtype=np.float64)
-        for j in features:
-            x = X[idx, j].astype(np.float64)
-            order = np.argsort(x, kind="stable")
-            xs = x[order]
-            ys = y_node[order]
-            # cum[i, c]: count of class c among the first i+1 sorted samples
-            onehot = np.zeros((n, k), dtype=np.float64)
-            onehot[np.arange(n), ys] = 1.0
+        n_l = np.arange(1, n, dtype=np.float64)[:, None]  # split after i => n_l = i+1
+        n_r = n - n_l
+        features = np.asarray(features)
+        block = max(1, self._SPLIT_BLOCK_ELEMS // max(1, n * k))
+        rows = np.arange(n)[:, None]
+        for lo in range(0, features.size, block):
+            feats = features[lo : lo + block]
+            m = feats.size
+            Xb = X[np.ix_(idx, feats)].astype(np.float64)  # (n, m)
+            order = np.argsort(Xb, axis=0, kind="stable")
+            xs = np.take_along_axis(Xb, order, axis=0)
+            ys = y_node[order]  # (n, m)
+            # cum[i, j, c]: count of class c among the first i+1 samples
+            # sorted by feature j
+            onehot = np.zeros((n, m, k), dtype=np.float64)
+            onehot[rows, np.arange(m)[None, :], ys] = 1.0
             cum = np.cumsum(onehot, axis=0)
-            tot = cum[-1]
-            n_l = pos_range  # split after position i => n_l = i+1, i = 0..n-2
-            n_r = n - n_l
-            valid = xs[:-1] < xs[1:]
+            L = cum[:-1]  # (n-1, m, k)
+            R = cum[-1][None, :, :] - L
+            valid = xs[:-1] < xs[1:]  # (n-1, m)
             if min_leaf > 1:
                 valid &= (n_l >= min_leaf) & (n_r >= min_leaf)
-            if not valid.any():
-                continue
-            L = cum[:-1]
-            R = tot[None, :] - L
             if self.criterion == "gini":
-                score = (L * L).sum(axis=1) / n_l + (R * R).sum(axis=1) / n_r
+                score = (L * L).sum(axis=2) / n_l + (R * R).sum(axis=2) / n_r
                 score = np.where(valid, score, -np.inf)
-                i = int(np.argmax(score))
-                child_imp = (n - score[i]) / n  # weighted gini of children
+                pos = np.argmax(score, axis=0)  # (m,)
+                child_imp = (n - score[pos, np.arange(m)]) / n
             else:
                 imp_l = _impurity(L, self.criterion)
                 imp_r = _impurity(R, self.criterion)
                 weighted = (n_l * imp_l + n_r * imp_r) / n
                 weighted = np.where(valid, weighted, np.inf)
-                i = int(np.argmin(weighted))
-                child_imp = weighted[i]
-            if not valid[i]:
-                continue
-            gain = parent_imp - child_imp
-            rank = -child_imp
-            if rank > best_score:
-                a, b = xs[i], xs[i + 1]
+                pos = np.argmin(weighted, axis=0)
+                child_imp = weighted[pos, np.arange(m)]
+            ranks = np.where(valid[pos, np.arange(m)], -child_imp, -np.inf)
+            j_rel = int(np.argmax(ranks))
+            if ranks[j_rel] > best_score:
+                i = int(pos[j_rel])
+                a, b = xs[i, j_rel], xs[i + 1, j_rel]
                 mid = 0.5 * (a + b)
                 threshold = b if mid <= a else mid  # routing is x < threshold
-                left_mask = x < threshold
-                best_score = rank
-                best = (j, threshold, gain, left_mask)
+                left_mask = Xb[:, j_rel] < threshold
+                best_score = ranks[j_rel]
+                gain = parent_imp - child_imp[j_rel]
+                best = (int(feats[j_rel]), float(threshold), gain, left_mask)
         return best
 
     def _best_split_hist(self, codes, quantizer, y_enc, idx, features, k):
-        """Histogram scan; returns (feature, threshold, gain, left_mask) or None."""
+        """Histogram scan, vectorized over feature blocks.
+
+        Returns (feature, threshold, gain, left_mask) or None.
+        """
         n = idx.size
-        min_leaf = self.min_samples_leaf
+        min_leaf = max(1, self.min_samples_leaf)
         y_node = y_enc[idx]
         parent_counts = np.bincount(y_node, minlength=k)
         parent_imp = _impurity(parent_counts[None, :], self.criterion)[0]
         best_score = -np.inf
         best = None
-        for j in features:
-            c = codes[idx, j].astype(np.int64)
-            n_bins = quantizer.n_effective_bins(j)
-            if n_bins < 2:
-                continue
-            hist = np.bincount(c * k + y_node, minlength=n_bins * k).reshape(n_bins, k)
-            cum = np.cumsum(hist, axis=0).astype(np.float64)
-            # split "code <= b" for b = 0 .. n_bins-2
-            L = cum[:-1]
-            n_l = L.sum(axis=1)
+        features = np.asarray(features)
+        n_bins = np.array([quantizer.n_effective_bins(int(j)) for j in features])
+        B = int(n_bins.max(initial=0))
+        if B < 2:
+            return None  # no feature has two distinct codes
+        block = max(1, self._SPLIT_BLOCK_ELEMS // max(1, n))
+        for lo in range(0, features.size, block):
+            feats = features[lo : lo + block]
+            m = feats.size
+            c = codes[np.ix_(idx, feats)].astype(np.int64)  # (n, m)
+            # one shared bincount over (feature, bin, class) cells
+            cell = (np.arange(m) * B)[None, :] * k + c * k + y_node[:, None]
+            hist = np.bincount(cell.ravel(), minlength=m * B * k).reshape(m, B, k)
+            cum = np.cumsum(hist, axis=1).astype(np.float64)
+            # split "code <= b" for b = 0 .. B-2; candidates at or beyond a
+            # feature's own bin count leave the right child empty and are
+            # rejected by the min-leaf constraint below
+            L = cum[:, :-1, :]  # (m, B-1, k)
+            n_l = L.sum(axis=2)
             n_r = n - n_l
-            valid = (n_l >= max(1, min_leaf)) & (n_r >= max(1, min_leaf))
-            if not valid.any():
-                continue
-            R = cum[-1][None, :] - L
+            valid = (n_l >= min_leaf) & (n_r >= min_leaf)
+            R = cum[:, -1, :][:, None, :] - L
             with np.errstate(invalid="ignore", divide="ignore"):
                 if self.criterion == "gini":
-                    score = (L * L).sum(axis=1) / n_l + (R * R).sum(axis=1) / n_r
+                    score = (L * L).sum(axis=2) / n_l + (R * R).sum(axis=2) / n_r
                     score = np.where(valid, score, -np.inf)
-                    b = int(np.argmax(score))
-                    child_imp = (n - score[b]) / n
+                    pos = np.argmax(score, axis=1)  # (m,)
+                    child_imp = (n - score[np.arange(m), pos]) / n
                 else:
                     imp_l = _impurity(L, self.criterion)
                     imp_r = _impurity(R, self.criterion)
                     weighted = (n_l * imp_l + n_r * imp_r) / n
                     weighted = np.where(valid, weighted, np.inf)
-                    b = int(np.argmin(weighted))
-                    child_imp = weighted[b]
-            if not valid[b]:
-                continue
-            gain = parent_imp - child_imp
-            rank = -child_imp
-            if rank > best_score:
-                threshold = quantizer.threshold_of_bin(j, b)
-                left_mask = c <= b
-                best_score = rank
-                best = (j, threshold, gain, left_mask)
+                    pos = np.argmin(weighted, axis=1)
+                    child_imp = weighted[np.arange(m), pos]
+            ranks = np.where(valid[np.arange(m), pos], -child_imp, -np.inf)
+            j_rel = int(np.argmax(ranks))
+            if ranks[j_rel] > best_score:
+                b = int(pos[j_rel])
+                threshold = quantizer.threshold_of_bin(int(feats[j_rel]), b)
+                left_mask = c[:, j_rel] <= b
+                best_score = ranks[j_rel]
+                gain = parent_imp - child_imp[j_rel]
+                best = (int(feats[j_rel]), float(threshold), gain, left_mask)
         return best
 
     # -- prediction ----------------------------------------------------------------

@@ -13,8 +13,16 @@ Determinism: hashing is FNV-1a with fixed seeds; the embedding of a string
 depends only on (string, dim, n_hashes, seed, idf state).
 
 Performance: job feature strings repeat heavily (batches of identical
-jobs), so per-string vectors are memoized in an internal cache; encoding a
-batch costs one dictionary lookup per repeated string.
+jobs), so per-string vectors are memoized in an internal LRU cache and
+:meth:`encode` deduplicates its input before embedding — a batch of
+identical jobs costs one embedding plus dictionary lookups.  Cache misses
+are embedded together: token contributions for the whole batch are
+scattered into the ``(n, dim)`` output with a single ``np.bincount`` over
+flattened ``(row, dim)`` cells, in document-major token order, so each
+dimension accumulates its floating-point adds in exactly the order the
+scalar :meth:`_embed_one` loop would — batch and scalar embeddings are
+bit-for-bit identical (asserted by the equivalence tests; the pre-PR
+per-string encode loop is preserved in :mod:`repro.nlp.reference`).
 """
 
 from __future__ import annotations
@@ -26,6 +34,16 @@ from repro.nlp.tfidf import DocumentFrequencyTable
 from repro.nlp.tokenizer import feature_tokens
 
 __all__ = ["SentenceEmbedder"]
+
+
+def row_norms(M: np.ndarray) -> np.ndarray:
+    """L2 norm over the last axis.
+
+    Both the scalar and the batch embedding paths must compute norms with
+    the same reduction (pairwise summation over a contiguous last axis) or
+    they drift in the last bit; this helper is that single shared op.
+    """
+    return np.sqrt((M * M).sum(axis=-1))
 
 
 class SentenceEmbedder:
@@ -48,7 +66,9 @@ class SentenceEmbedder:
     ngram_range:
         Character n-gram sizes fed to the tokenizer.
     cache_size:
-        Maximum number of distinct strings memoized (FIFO eviction).
+        Maximum number of distinct strings memoized (LRU eviction: a
+        cache hit refreshes the entry's recency, evictions drop the least
+        recently used string).
     """
 
     def __init__(
@@ -77,8 +97,15 @@ class SentenceEmbedder:
         self._cache: dict[str, np.ndarray] = {}
         # token -> (dims, signs, token_id); memoizes hashing too
         self._token_cache: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+        # token -> (dims, signs * idf_weight, idf generation); entries from
+        # an older generation are stale and recomputed on demand
+        self._contrib_cache: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+        self._idf_gen = 0
 
     # -- token machinery -------------------------------------------------------
+
+    def _tokens_of(self, text: str) -> list[str]:
+        return feature_tokens(text, n_min=self.ngram_range[0], n_max=self.ngram_range[1])
 
     def _token_projection(self, token: str) -> tuple[np.ndarray, np.ndarray, int]:
         hit = self._token_cache.get(token)
@@ -90,27 +117,96 @@ class SentenceEmbedder:
             h = hash_token(token, seed=self.seed * 1000 + k)
             dims[k] = h % self.dim
             signs[k] = 1.0 if (h >> 63) & 1 else -1.0
+        if self.n_hashes > 1:
+            # Fancy-assignment semantics of ``v[dims] += signs * w``: when
+            # two hashes of one token collide on a dimension, only the last
+            # write sticks.  Collapse such duplicates (keep the last) here
+            # so every downstream accumulation — fancy add and bincount
+            # scatter alike — agrees with that historical rule bit-for-bit.
+            last_pos = {int(d): k for k, d in enumerate(dims)}
+            if len(last_pos) < self.n_hashes:
+                keep = np.array(sorted(last_pos.values()), dtype=np.intp)
+                dims = dims[keep]
+                signs = signs[keep]
         token_id = hash_token(token, seed=self.seed)
         entry = (dims, signs, token_id)
         if len(self._token_cache) < 4 * self.cache_size + 1024:
             self._token_cache[token] = entry
         return entry
 
+    def _token_contrib(self, token: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(dims, signs * weight)`` for one token under the current IDF."""
+        hit = self._contrib_cache.get(token)
+        if hit is not None and hit[2] == self._idf_gen:
+            return hit[0], hit[1]
+        dims, signs, tok_id = self._token_projection(token)
+        w = self.idf_table.idf(tok_id) if self.use_idf else 1.0
+        contrib = signs * w
+        if len(self._contrib_cache) < 4 * self.cache_size + 1024:
+            self._contrib_cache[token] = (dims, contrib, self._idf_gen)
+        return dims, contrib
+
     def _embed_one(self, text: str) -> np.ndarray:
         v = np.zeros(self.dim, dtype=np.float64)
-        tokens = feature_tokens(text, n_min=self.ngram_range[0], n_max=self.ngram_range[1])
+        tokens = self._tokens_of(text)
         if not tokens:
             out = np.zeros(self.dim, dtype=np.float32)
             out[0] = 1.0  # canonical vector for empty strings
             return out
         for tok in tokens:
-            dims, signs, tok_id = self._token_projection(tok)
-            w = self.idf_table.idf(tok_id) if self.use_idf else 1.0
-            v[dims] += signs * w
-        norm = float(np.linalg.norm(v))
+            dims, contrib = self._token_contrib(tok)
+            v[dims] += contrib
+        norm = float(row_norms(v))
         if norm > 0:
             v /= norm
         return v.astype(np.float32)
+
+    def _embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed distinct strings together, bit-for-bit like ``_embed_one``.
+
+        Token contributions are collected document-major and scattered with
+        one ``np.bincount`` over flattened ``(row, dim)`` cells.  bincount
+        accumulates its input sequentially, so each output dimension sums
+        its contributions in the same order as the scalar per-token loop —
+        identical floating-point results, ~one NumPy call instead of one
+        per token.
+        """
+        n = len(texts)
+        dim_parts: list[np.ndarray] = []
+        contrib_parts: list[np.ndarray] = []
+        counts = np.zeros(n, dtype=np.int64)  # scatter entries per document
+        empty_rows: list[int] = []
+        for j, text in enumerate(texts):
+            tokens = self._tokens_of(text)
+            if not tokens:
+                empty_rows.append(j)
+                continue
+            c = 0
+            for tok in tokens:
+                dims, contrib = self._token_contrib(tok)
+                dim_parts.append(dims)
+                contrib_parts.append(contrib)
+                c += dims.size
+            counts[j] = c
+        if dim_parts:
+            flat_dim = np.concatenate(dim_parts)
+            flat_contrib = np.concatenate(contrib_parts)
+            row_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+            M = np.bincount(
+                row_of * self.dim + flat_dim,
+                weights=flat_contrib,
+                minlength=n * self.dim,
+            ).reshape(n, self.dim)
+        else:
+            M = np.zeros((n, self.dim), dtype=np.float64)
+        norms = row_norms(M)
+        nz = norms > 0
+        M[nz] /= norms[nz, None]
+        out = M.astype(np.float32)
+        for j in empty_rows:
+            out[j] = 0.0
+            out[j, 0] = 1.0  # canonical vector for empty strings
+        return out
 
     # -- public API -----------------------------------------------------------
 
@@ -118,45 +214,70 @@ class SentenceEmbedder:
         """Encode a string or a sequence of strings.
 
         Returns a float32 array of shape ``(dim,)`` for a single string or
-        ``(n, dim)`` for a sequence.  Rows are L2-normalized.
+        ``(n, dim)`` for a sequence.  Rows are L2-normalized.  Repeated
+        strings are embedded once (cache + in-batch deduplication).
         """
         if isinstance(texts, str):
             return self._encode_cached(texts).copy()
         texts = list(texts)
-        out = np.empty((len(texts), self.dim), dtype=np.float32)
-        for i, t in enumerate(texts):
+        for t in texts:
             if not isinstance(t, str):
                 raise TypeError(f"expected str, got {type(t).__name__}")
-            out[i] = self._encode_cached(t)
+        out = np.empty((len(texts), self.dim), dtype=np.float32)
+        miss_pos: dict[str, int] = {}  # distinct uncached text -> batch row
+        for i, t in enumerate(texts):
+            hit = self._cache.get(t)
+            if hit is not None:
+                self._cache[t] = self._cache.pop(t)  # LRU: refresh recency
+                out[i] = hit
+            elif t not in miss_pos:
+                miss_pos[t] = len(miss_pos)
+        if miss_pos:
+            M = self._embed_batch(list(miss_pos))
+            for i, t in enumerate(texts):
+                j = miss_pos.get(t)
+                if j is not None:
+                    out[i] = M[j]
+            for t, j in miss_pos.items():
+                self._cache_store(t, M[j].copy())
         return out
 
     def _encode_cached(self, text: str) -> np.ndarray:
         hit = self._cache.get(text)
         if hit is not None:
+            self._cache[text] = self._cache.pop(text)  # LRU: refresh recency
             return hit
         v = self._embed_one(text)
-        if self.cache_size:
-            if len(self._cache) >= self.cache_size:
-                # FIFO eviction: drop the oldest insertion
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[text] = v
+        self._cache_store(text, v)
         return v
+
+    def _cache_store(self, text: str, v: np.ndarray) -> None:
+        if not self.cache_size:
+            return
+        if len(self._cache) >= self.cache_size:
+            # evict the least recently used entry (hits re-append, so the
+            # dict's insertion order is recency order)
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[text] = v
 
     def partial_fit_idf(self, texts) -> "SentenceEmbedder":
         """Update the online IDF table with a batch of strings.
 
+        Tokenization goes through the same memoized per-token machinery as
+        :meth:`encode` (each distinct string is tokenized once per call).
         Invalidate the string cache afterwards, since weights changed.
         """
+        token_memo: dict[str, list[int]] = {}
         docs = []
         for t in texts:
-            ids = [
-                self._token_projection(tok)[2]
-                for tok in feature_tokens(
-                    t, n_min=self.ngram_range[0], n_max=self.ngram_range[1]
-                )
-            ]
+            ids = token_memo.get(t)
+            if ids is None:
+                ids = token_memo[t] = [
+                    self._token_projection(tok)[2] for tok in self._tokens_of(t)
+                ]
             docs.append(ids)
         self.idf_table.partial_fit(docs)
+        self._idf_gen += 1  # cached token contributions are now stale
         self._cache.clear()
         return self
 

@@ -1,0 +1,47 @@
+"""Pre-vectorization scalar embedding paths (parity + benchmark oracles).
+
+The batch ``SentenceEmbedder.encode`` introduced by the vectorization PR
+scatters the whole batch's token contributions with one ``np.bincount``;
+these functions preserve the historical shape of the computation — one
+string at a time, one fancy-indexed add per token, no caching and no
+deduplication.  ``tests/nlp/test_embedder_equivalence.py`` asserts the
+batch path matches them bit-for-bit, and ``BENCH_mlcore.json`` reports
+batch-encode speedups relative to :func:`encode_scalar`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlp.embedder import SentenceEmbedder, row_norms
+
+__all__ = ["embed_one_scalar", "encode_scalar"]
+
+
+def embed_one_scalar(embedder: SentenceEmbedder, text: str) -> np.ndarray:
+    """One string through the per-token accumulation loop.
+
+    Shares the embedder's token projections (dims/signs/id) and the
+    canonical :func:`repro.nlp.embedder.row_norms` reduction, so the only
+    difference from the batch path is the accumulation strategy — which
+    the equivalence tests pin as bit-for-bit identical.
+    """
+    v = np.zeros(embedder.dim, dtype=np.float64)
+    tokens = embedder._tokens_of(text)
+    if not tokens:
+        out = np.zeros(embedder.dim, dtype=np.float32)
+        out[0] = 1.0  # canonical vector for empty strings
+        return out
+    for tok in tokens:
+        dims, signs, tok_id = embedder._token_projection(tok)
+        w = embedder.idf_table.idf(tok_id) if embedder.use_idf else 1.0
+        v[dims] += signs * w
+    norm = float(row_norms(v))
+    if norm > 0:
+        v /= norm
+    return v.astype(np.float32)
+
+
+def encode_scalar(embedder: SentenceEmbedder, texts) -> np.ndarray:
+    """Per-string encode loop with no caching and no deduplication."""
+    return np.stack([embed_one_scalar(embedder, t) for t in texts])

@@ -18,7 +18,12 @@ collectives rather than ad-hoc thread soup.
 """
 
 from repro.parallel.chunking import chunk_bounds, chunk_indices, split_array
-from repro.parallel.executor import ensure_picklable, parallel_map, ExecutorConfig
+from repro.parallel.executor import (
+    ensure_picklable,
+    parallel_map,
+    parallel_map_sharded,
+    ExecutorConfig,
+)
 from repro.parallel.communicator import LocalCommunicator
 from repro.parallel.sharedmem import SharedArray
 
@@ -28,6 +33,7 @@ __all__ = [
     "split_array",
     "ensure_picklable",
     "parallel_map",
+    "parallel_map_sharded",
     "ExecutorConfig",
     "LocalCommunicator",
     "SharedArray",

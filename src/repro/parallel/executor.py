@@ -15,7 +15,13 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ExecutorConfig", "parallel_map", "effective_workers", "ensure_picklable"]
+__all__ = [
+    "ExecutorConfig",
+    "parallel_map",
+    "parallel_map_sharded",
+    "effective_workers",
+    "ensure_picklable",
+]
 
 
 @dataclass(frozen=True)
@@ -93,3 +99,41 @@ def parallel_map(
     pool_cls = ThreadPoolExecutor if config.backend == "thread" else ProcessPoolExecutor
     with pool_cls(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+def parallel_map_sharded(
+    fn: Callable,
+    items: Iterable,
+    *,
+    config: ExecutorConfig | None = None,
+    shards_per_worker: int = 4,
+) -> list:
+    """``parallel_map`` with contiguous item shards instead of one task per item.
+
+    For fine-grained tasks (e.g. one forest tree per item) the per-task
+    submission overhead of a pool can rival the task itself; sharding
+    submits ``workers * shards_per_worker`` contiguous blocks, each running
+    a plain loop.  Output order and results are identical to
+    ``parallel_map`` for a pure ``fn``.  The process backend falls back to
+    per-item ``parallel_map`` (a shard closure cannot cross a process
+    boundary); sharding targets the thread backend, where BLAS-heavy tasks
+    release the GIL.
+    """
+    if shards_per_worker < 1:
+        raise ValueError("shards_per_worker must be >= 1")
+    config = config or ExecutorConfig()
+    items = list(items)
+    workers = min(effective_workers(config), max(1, len(items)))
+    if workers <= 1 or config.backend == "serial":
+        return [fn(x) for x in items]
+    if config.backend == "process":
+        return parallel_map(fn, items, config=config)
+    from repro.parallel.chunking import chunk_bounds
+
+    def run_shard(bounds: tuple[int, int]) -> list:
+        lo, hi = bounds
+        return [fn(items[i]) for i in range(lo, hi)]
+
+    shards = chunk_bounds(len(items), workers * shards_per_worker)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return [out for shard in pool.map(run_shard, shards) for out in shard]

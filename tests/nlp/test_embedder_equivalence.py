@@ -1,0 +1,103 @@
+"""Batch-encode parity and cache behaviour for the vectorized embedder."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.embedder import SentenceEmbedder
+from repro.nlp.reference import embed_one_scalar, encode_scalar
+
+TEXTS = [
+    "srun --ntasks=128 gemm avx512",
+    "mpi stream triad nodes=4",
+    "gromacs gpu --exclusive mem=64G",
+    "lbm d3q19 cg solver ib0",
+    "",
+    "   ",
+    "a",
+    "fft 1024 batched vasp",
+]
+
+
+class TestBatchScalarParity:
+    @pytest.mark.parametrize("use_idf", [False, True])
+    def test_batch_matches_scalar_bit_for_bit(self, use_idf):
+        emb = SentenceEmbedder(dim=96, use_idf=use_idf, cache_size=0)
+        if use_idf:
+            emb.partial_fit_idf(TEXTS * 3)
+        batch = emb._embed_batch(list(TEXTS))
+        scalar = encode_scalar(emb, TEXTS)
+        assert np.array_equal(batch, scalar)
+
+    def test_collision_heavy_config_matches(self):
+        # dim=2 with 4 hashes forces duplicate dimensions inside single
+        # tokens, pinning the keep-last fancy-assignment collapse
+        emb = SentenceEmbedder(dim=2, n_hashes=4, cache_size=0)
+        batch = emb._embed_batch(list(TEXTS))
+        scalar = encode_scalar(emb, TEXTS)
+        assert np.array_equal(batch, scalar)
+
+    def test_public_encode_matches_scalar_with_repeats(self):
+        emb = SentenceEmbedder(dim=64)
+        batch = TEXTS * 5  # repeats exercise cache + in-batch dedup
+        out = emb.encode(batch)
+        assert np.array_equal(out, encode_scalar(emb, batch))
+        # a second (fully cached) pass returns the same rows
+        assert np.array_equal(emb.encode(batch), out)
+
+    def test_single_string_matches_batch_row(self):
+        emb = SentenceEmbedder(dim=64, cache_size=0)
+        single = np.stack([emb.encode(t) for t in TEXTS])
+        assert np.array_equal(single, emb.encode(TEXTS))
+
+    def test_embed_one_is_the_scalar_reference(self):
+        emb = SentenceEmbedder(dim=64, cache_size=0)
+        for t in TEXTS:
+            assert np.array_equal(emb._embed_one(t), embed_one_scalar(emb, t))
+
+
+class TestLRUCache:
+    def test_hit_refreshes_recency(self):
+        emb = SentenceEmbedder(dim=32, cache_size=3)
+        emb.encode(["a1", "b2", "c3"])
+        assert emb.cache_len == 3
+        emb.encode("a1")  # hit: "a1" becomes most recently used
+        emb.encode("d4")  # eviction drops the least recently used: "b2"
+        assert "a1" in emb._cache
+        assert "b2" not in emb._cache
+        assert set(emb._cache) == {"a1", "c3", "d4"}
+
+    def test_hit_serves_cached_vector(self):
+        emb = SentenceEmbedder(dim=32, cache_size=4)
+        first = emb.encode("srun gemm")
+        cached = emb._cache["srun gemm"]
+        again = emb.encode("srun gemm")
+        assert np.array_equal(first, again)
+        assert emb._cache["srun gemm"] is cached  # hit did not re-embed
+
+    def test_batch_hits_refresh_recency_too(self):
+        emb = SentenceEmbedder(dim=32, cache_size=3)
+        emb.encode(["a1", "b2", "c3"])
+        emb.encode(["a1", "d4"])  # list-path hit on "a1", miss on "d4"
+        assert "a1" in emb._cache
+        assert "b2" not in emb._cache
+
+
+class TestPartialFitIdf:
+    def test_batched_tokenization_matches_per_string(self):
+        texts = TEXTS * 2  # duplicates must still count as separate docs
+        one = SentenceEmbedder(dim=48, use_idf=True)
+        one.partial_fit_idf(texts)
+        per = SentenceEmbedder(dim=48, use_idf=True)
+        for t in texts:
+            per.partial_fit_idf([t])
+        assert one.idf_table.state_dict() == per.idf_table.state_dict()
+        assert np.array_equal(one.encode(TEXTS), per.encode(TEXTS))
+
+    def test_idf_update_invalidates_contribution_cache(self):
+        emb = SentenceEmbedder(dim=48, use_idf=True)
+        before = emb.encode(TEXTS).copy()
+        emb.partial_fit_idf(TEXTS * 4)
+        after = emb.encode(TEXTS)
+        # weights changed, so cached contributions must have been recomputed
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, encode_scalar(emb, TEXTS))

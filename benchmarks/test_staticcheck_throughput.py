@@ -1,24 +1,72 @@
-"""Staticcheck engine throughput: cold vs warm cache, flow tier on/off.
+"""Staticcheck engine throughput: the BENCH_staticcheck.json perf trajectory.
 
 Not a paper figure — operational context for the correctness tooling:
 the linter runs on every CI push and inside the tier-1 gate, so its
-cold-parse cost, its warm-cache speedup and the marginal price of the
-flow-sensitive tier (CFG construction + fixpoints, PR 5) are worth
-tracking release over release.  The project is synthetic so the numbers
-measure the engine, not the repo's current line count.
+cold-parse cost, its warm-cache speedup, and the marginal price of the
+flow tier (PR 5: CFGs + fixpoints) and the perf tier (hot-path
+derivation + array fixpoints) are worth tracking release over release.
+The project is synthetic so the numbers measure the engine, not the
+repo's current line count; every run rewrites ``BENCH_staticcheck.json``
+at the repo root as the second committed trajectory next to
+``BENCH_mlcore.json``.
+
+Ratcheting: absolute wall times vary across machines, so the committed
+baseline is ratcheted on *ratios measured within one run* — the
+warm-cache speedup, and the cold/warm overhead of each analysis tier
+relative to the same engine with that tier's rules ignored.  With
+``REPRO_PERF_RATCHET=1`` (the CI benchmark job) the final test fails if
+the warm-cache speedup drops below its hard floor, if a warm-run tier
+overhead leaves its hard band (the cache stores findings, so a warm run
+must get both tiers for ~free), or if the warm speedup regresses more
+than 40% relative to the committed baseline.
 """
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
 
 import pytest
 
+from benchmarks._perf import best_time, throughput
 from repro.staticcheck import check_paths, resolve_rules
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_staticcheck.json"
 
 #: The flow-sensitive tier (PR 5); ignoring these skips CFG + fixpoint work.
 FLOW_RULES = ("unit-mismatch", "resource-leak", "double-release")
+#: The perf tier (this PR); ignoring these skips hot-path derivation and
+#: the shape/dtype array fixpoints.
+PERF_RULES = (
+    "dtype-upcast",
+    "dtype-narrowing",
+    "broadcast-mismatch",
+    "scalar-loop",
+    "per-item-call",
+    "loop-alloc",
+    "quadratic-growth",
+    "hidden-copy",
+)
 
 NUM_FILES = 24
 
+#: hard floor: a fully-warm cache must be at least this much faster than
+#: a cold run of the same rule set
+WARM_SPEEDUP_FLOOR = 3.0
+#: hard band: a warm run with a tier's rules enabled may cost at most
+#: this factor over a warm run with them ignored — cached entries hold
+#: the findings, so re-enabling a tier must not redo its analysis
+WARM_TIER_OVERHEAD_CAP = 1.25
+#: the warm speedup may regress at most 40% vs the committed baseline
+#: (ratio-of-wall-times wobbles more than the mlcore speedup ratios)
+RATCHET_TOLERANCE = 0.60
+
 MODULE = '''\
-"""Synthetic module {i}: annotated roofline math plus resource churn."""
+"""Synthetic module {i}: roofline math, resource churn, numpy hot path."""
+
+import numpy as np
 
 
 def _perf_{i}(flops, duration, nodes):  # unit: flops=flops, duration=s, nodes=1 -> gflops/s
@@ -39,6 +87,18 @@ def _churn_{i}(path):
     with open(path) as again:
         data += again.read()
     return data
+
+
+def _predict_{i}(X, w):  # hotpath: synthetic serve path, keeps the perf tier busy
+    scores = X @ w
+    probs = 1.0 / (1.0 + np.exp(-scores))
+    labels = probs > 0.5
+    return np.where(labels, probs, 1.0 - probs)
+
+
+def _scale_{i}(n):
+    base = np.zeros((n, 4), dtype=np.float32)
+    return base * np.float32(0.5)
 '''
 
 
@@ -52,6 +112,17 @@ def project(tmp_path_factory):
     return pkg
 
 
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "meta": {
+            "num_files": NUM_FILES + 1,
+            "flow_rules": list(FLOW_RULES),
+            "perf_rules": list(PERF_RULES),
+        }
+    }
+
+
 def _check(project, cache, rules):
     result = check_paths([project], cache_path=cache, rules=rules)
     assert result.files_checked == NUM_FILES + 1
@@ -59,53 +130,120 @@ def _check(project, cache, rules):
     return result
 
 
-def test_cold_run_all_rules(benchmark, project, tmp_path):
-    """Cold parse + full rule set including the flow tier."""
-    counter = iter(range(10**6))
+def _cold_time(project, tmp_path, rules, tag):
+    """Best-of-N cold runs, each against a never-seen cache path."""
+    counter = itertools.count()
 
-    def setup():
-        return (project, tmp_path / f"cold-{next(counter)}.json", resolve_rules()), {}
+    def run():
+        _check(project, tmp_path / f"{tag}-{next(counter)}.json", rules)
 
-    benchmark.pedantic(_check, setup=setup, rounds=5)
-
-
-def test_cold_run_without_flow_tier(benchmark, project, tmp_path):
-    """Cold parse with the flow tier off — the delta to the benchmark
-    above is what CFG construction and the fixpoints cost."""
-    rules = resolve_rules(ignore=list(FLOW_RULES))
-    counter = iter(range(10**6))
-
-    def setup():
-        return (project, tmp_path / f"noflow-{next(counter)}.json", rules), {}
-
-    benchmark.pedantic(_check, setup=setup, rounds=5)
+    return best_time(run, repeats=5, warmup=1)
 
 
-def test_warm_run_all_rules(benchmark, project, tmp_path):
-    """Fully-warm cache: every file served without re-analysis, so the
-    flow tier costs nothing (its results live in the cached entries)."""
-    cache = tmp_path / "warm.json"
-    _check(project, cache, resolve_rules())  # prime
-    result = benchmark(_check, project, cache, resolve_rules())
-    assert result.stats.cache_hits == NUM_FILES + 1
-    assert result.stats.flow_cfgs == 0
+def test_cold_runs(results, project, tmp_path):
+    all_rules = resolve_rules()
+    results["cold"] = {
+        "all_s": _cold_time(project, tmp_path, all_rules, "all"),
+        "no_flow_s": _cold_time(
+            project, tmp_path, resolve_rules(ignore=list(FLOW_RULES)), "noflow"
+        ),
+        "no_perf_s": _cold_time(
+            project, tmp_path, resolve_rules(ignore=list(PERF_RULES)), "noperf"
+        ),
+    }
+    results["cold"]["files_per_s"] = throughput(
+        NUM_FILES + 1, results["cold"]["all_s"]
+    )
 
 
-def test_warm_run_one_dirty_file(benchmark, project, tmp_path):
+def test_warm_runs(results, project, tmp_path):
+    """Fully-warm cache: every file served without re-analysis, so both
+    tiers cost ~nothing (their findings live in the cached entries)."""
+    caches = {
+        "all": (tmp_path / "warm-all.json", resolve_rules()),
+        "no_perf": (
+            tmp_path / "warm-noperf.json",
+            resolve_rules(ignore=list(PERF_RULES)),
+        ),
+    }
+    warm = {}
+    for tag, (cache, rules) in caches.items():
+        _check(project, cache, rules)  # prime
+        warm[tag] = best_time(lambda: _check(project, cache, rules))
+        result = _check(project, cache, rules)
+        assert result.stats.cache_hits == NUM_FILES + 1
+        assert result.stats.flow_cfgs == 0
+        assert result.stats.perf_hot_functions == 0
+        assert result.stats.perf_array_fixpoints == 0
+    results["warm"] = {
+        "all_s": warm["all"],
+        "no_perf_s": warm["no_perf"],
+        "files_per_s": throughput(NUM_FILES + 1, warm["all"]),
+    }
+
+
+def test_one_dirty_file(results, project, tmp_path):
     """Steady-state developer loop: one edited file, the rest cached."""
     cache = tmp_path / "dirty.json"
-    _check(project, cache, resolve_rules())  # prime
+    rules = resolve_rules()
+    _check(project, cache, rules)  # prime
     dirty = project / "mod_0.py"
     text = dirty.read_text()
-    edits = iter(range(10**6))
+    edits = itertools.count()
 
     def edit_then_check():
         dirty.write_text(f"{text}\n# edit {next(edits)}\n")
-        result = _check(project, cache, resolve_rules())
+        result = _check(project, cache, rules)
         assert result.stats.cache_misses == 1
-        return result
 
     try:
-        benchmark(edit_then_check)
+        results["dirty_one_file_s"] = best_time(edit_then_check)
     finally:
         dirty.write_text(text)
+
+
+def test_write_bench_json(results):
+    """Write the trajectory file; ratchet the ratios when asked to.
+
+    Runs last (pytest executes this module top to bottom), after every
+    section above has filled in its measurements.
+    """
+    for section in ("cold", "warm", "dirty_one_file_s"):
+        assert section in results, f"bench section {section!r} did not run"
+
+    cold, warm = results["cold"], results["warm"]
+    ratios = {
+        "warm_speedup": cold["all_s"] / warm["all_s"],
+        "flow_cold_overhead": cold["all_s"] / cold["no_flow_s"],
+        "perf_cold_overhead": cold["all_s"] / cold["no_perf_s"],
+        "perf_warm_overhead": warm["all_s"] / warm["no_perf_s"],
+    }
+    results["ratios"] = ratios
+
+    baseline = None
+    if BENCH_PATH.exists():
+        baseline = json.loads(BENCH_PATH.read_text())
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    if not os.environ.get("REPRO_PERF_RATCHET"):
+        return
+    failures = []
+    if ratios["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm-cache speedup {ratios['warm_speedup']:.2f}x < "
+            f"floor {WARM_SPEEDUP_FLOOR}x"
+        )
+    if ratios["perf_warm_overhead"] > WARM_TIER_OVERHEAD_CAP:
+        failures.append(
+            f"perf tier costs {ratios['perf_warm_overhead']:.2f}x on a warm "
+            f"cache (cap {WARM_TIER_OVERHEAD_CAP}x): cached entries are "
+            "being recomputed"
+        )
+    if baseline and "ratios" in baseline:
+        old = baseline["ratios"].get("warm_speedup")
+        if old and ratios["warm_speedup"] < RATCHET_TOLERANCE * old:
+            failures.append(
+                f"warm speedup regressed {ratios['warm_speedup']:.2f}x < "
+                f"{RATCHET_TOLERANCE:.0%} of baseline {old:.2f}x"
+            )
+    assert not failures, "; ".join(failures)

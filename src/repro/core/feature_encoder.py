@@ -59,7 +59,7 @@ class FeatureEncoder:
 
     # -- string construction -----------------------------------------------------
 
-    def feature_string(self, record: Mapping) -> str:
+    def feature_string(self, record: Mapping) -> str:  # hotpath: per-record serialization behind encode()
         """The comma-separated feature string of one raw job record."""
         try:
             return ",".join(_format_value(record[f]) for f in self.feature_set)

@@ -26,7 +26,7 @@ from repro.web.app import App, HTTPError
 __all__ = ["build_app"]
 
 
-def _label_payload(job_ids, labels) -> dict:
+def _label_payload(job_ids, labels) -> dict:  # hotpath: response assembly for /predict and /characterize
     return {
         "job_ids": [int(j) for j in job_ids],
         "labels": [int(l) for l in labels],

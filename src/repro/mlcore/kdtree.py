@@ -193,13 +193,13 @@ class KDTree:
             idxs[lo:hi] = jj
         return dists, idxs
 
-    def _leaf_scan(self, Q: np.ndarray, node: int, p: float):
+    def _leaf_scan(self, Q: np.ndarray, node: int, p: float):  # hotpath: leaf distance kernel behind query()
         """Reduced distances of every query row to every point of a leaf."""
         idx = self._perm[self._start[node] : self._end[node]]
         diff = np.abs(Q[:, None, :] - self.data[idx][None, :, :])
         return reduced_minkowski(diff, p), idx
 
-    def _query_chunk(self, Q: np.ndarray, k: int, p: float):
+    def _query_chunk(self, Q: np.ndarray, k: int, p: float):  # hotpath: per-chunk branch-and-bound behind query()
         """Batched branch-and-bound over one chunk of queries.
 
         The traversal stack holds ``(node, queries)`` groups.  A popped
@@ -228,7 +228,9 @@ class KDTree:
             qs = qs[keep]
             if self._dim[node] == _LEAF:
                 rd, idx = self._leaf_scan(Q[qs], node, p)
+                # staticcheck: ignore[hidden-copy] - bounded (nq, 2k) merge per leaf visit, not loop growth
                 cand_rd = np.concatenate([best_rd[qs], rd], axis=1)
+                # staticcheck: ignore[hidden-copy] - bounded (nq, 2k) merge per leaf visit, not loop growth
                 cand_idx = np.concatenate(
                     [best_idx[qs], np.broadcast_to(idx, rd.shape)], axis=1
                 )

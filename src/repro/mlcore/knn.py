@@ -27,7 +27,7 @@ __all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
 _AUTO_KDTREE_MAX_DIM = 15
 
 
-def _lexicographic_argselect(d: np.ndarray, k: int) -> np.ndarray:
+def _lexicographic_argselect(d: np.ndarray, k: int) -> np.ndarray:  # hotpath: top-k kernel of every brute query
     """Column indices of the k smallest ``(distance, index)`` pairs per row.
 
     ``np.argpartition`` alone picks an *arbitrary* subset of the columns
@@ -43,23 +43,39 @@ def _lexicographic_argselect(d: np.ndarray, k: int) -> np.ndarray:
     kth = np.take_along_axis(d, part[:, k - 1 : k], axis=1)
     # rows whose k-th and (k+1)-th order statistics differ have a *unique*
     # k-smallest set, so argpartition's arbitrary pick is already the
-    # canonical set — sorting its columns ascending finishes the job.  Only
-    # rows tied across the boundary need the full-width admission scan.
+    # canonical set — sorting its columns ascending finishes the job.
     # (exact comparison of values copied out of the same array: this
     # detects genuine ties at the selection boundary, not "close" floats)
     out = np.sort(part[:, :k], axis=1).astype(np.int64)
     ambiguous = np.flatnonzero(
         (kth == np.take_along_axis(d, part[:, k : k + 1], axis=1)).ravel()
     )
-    if ambiguous.size:
-        damb = d[ambiguous]
-        below = damb < kth[ambiguous]
-        at = damb == kth[ambiguous]
-        need = k - below.sum(axis=1, keepdims=True)
-        at &= np.cumsum(at, axis=1) <= need
-        rows, cols = np.nonzero(below | at)
-        del rows  # each ambiguous row holds exactly k columns, ascending
-        out[ambiguous] = cols.reshape(ambiguous.size, k)
+    if ambiguous.size == 0:
+        return out  # no boundary ties anywhere in the batch
+    # Tie-admission for the ambiguous rows only.  The partition already
+    # hands us every strictly-below-threshold column inside its first k
+    # slots, so a (na, k) gather replaces the old full-width < scan; the
+    # one unavoidable full-width pass finds the columns tied *at* the
+    # threshold, of which the smallest-index `need` per row are admitted.
+    na = ambiguous.size
+    kth_a = kth[ambiguous]  # (na, 1)
+    sel = out[ambiguous]  # (na, k) arbitrary pick, ascending columns
+    below = d[ambiguous[:, None], sel] < kth_a  # (na, k)
+    need = k - below.sum(axis=1)  # ties to admit per row, >= 1
+    at_rows, at_cols = np.nonzero(d[ambiguous] == kth_a)  # cols ascend per row
+    tie_counts = np.bincount(at_rows, minlength=na)
+    row_starts = np.concatenate(([0], np.cumsum(tie_counts[:-1])))
+    rank = np.arange(at_rows.size) - row_starts[at_rows]
+    admit = rank < need[at_rows]
+    # assemble: below-threshold columns fill slots [0, k - need), admitted
+    # ties the rest; a final per-row sort restores ascending column order
+    res = np.empty((na, k), dtype=np.int64)
+    b_rows, b_idx = np.nonzero(below)
+    b_slot = np.cumsum(below, axis=1) - 1
+    res[b_rows, b_slot[b_rows, b_idx]] = sel[b_rows, b_idx]
+    a_rows = at_rows[admit]
+    res[a_rows, (k - need)[a_rows] + rank[admit]] = at_cols[admit]
+    out[ambiguous] = np.sort(res, axis=1)
     return out
 
 
@@ -126,7 +142,7 @@ class _NeighborsBase:
             return self._tree.query(X, k=k, p=self.p)
         return self._brute_kneighbors(X, k)
 
-    def _brute_kneighbors(self, X, k):
+    def _brute_kneighbors(self, X, k):  # hotpath: chunked distance sweep behind kneighbors()
         n_train = self._X.shape[0]
         nq = X.shape[0]
         dist = np.empty((nq, k), dtype=np.float64)

@@ -100,12 +100,27 @@ class SentenceEmbedder:
         # token -> (dims, signs * idf_weight, idf generation); entries from
         # an older generation are stale and recomputed on demand
         self._contrib_cache: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+        # text -> token list.  Tokenization is pure Python (the dominant
+        # cost of a distinct-string embed) and independent of IDF state,
+        # so unlike the vector cache this memo survives partial_fit_idf's
+        # invalidation: re-encoding a known string after a refit skips
+        # the tokenizer entirely.
+        self._tokens_cache: dict[str, list[str]] = {}
         self._idf_gen = 0
 
     # -- token machinery -------------------------------------------------------
 
-    def _tokens_of(self, text: str) -> list[str]:
-        return feature_tokens(text, n_min=self.ngram_range[0], n_max=self.ngram_range[1])
+    def _tokens_of(self, text: str) -> list[str]:  # hotpath: tokenization behind every encode()
+        hit = self._tokens_cache.get(text)
+        if hit is not None:
+            self._tokens_cache[text] = self._tokens_cache.pop(text)  # LRU: refresh
+            return hit
+        tokens = feature_tokens(text, n_min=self.ngram_range[0], n_max=self.ngram_range[1])
+        if self.cache_size:
+            if len(self._tokens_cache) >= self.cache_size:
+                self._tokens_cache.pop(next(iter(self._tokens_cache)))
+            self._tokens_cache[text] = tokens
+        return tokens
 
     def _token_projection(self, token: str) -> tuple[np.ndarray, np.ndarray, int]:
         hit = self._token_cache.get(token)
@@ -161,7 +176,7 @@ class SentenceEmbedder:
             v /= norm
         return v.astype(np.float32)
 
-    def _embed_batch(self, texts: list[str]) -> np.ndarray:
+    def _embed_batch(self, texts: list[str]) -> np.ndarray:  # hotpath: batched projection behind encode()
         """Embed distinct strings together, bit-for-bit like ``_embed_one``.
 
         Token contributions are collected document-major and scattered with

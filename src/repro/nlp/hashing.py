@@ -39,6 +39,6 @@ def _mix64(h: int) -> int:
     return h
 
 
-def hash_token(token: str, seed: int = 0) -> int:
+def hash_token(token: str, seed: int = 0) -> int:  # hotpath: per-token work inside encode
     """Hash a text token (UTF-8) to a well-mixed 64-bit integer."""
     return _mix64(fnv1a64(token.encode("utf-8"), seed))

@@ -45,7 +45,7 @@ def char_ngrams(text: str, n_min: int = 3, n_max: int = 4) -> list[str]:
     return out
 
 
-def feature_tokens(text: str, *, n_min: int = 3, n_max: int = 4) -> list[str]:
+def feature_tokens(text: str, *, n_min: int = 3, n_max: int = 4) -> list[str]:  # hotpath: tokenizes every encoded string
     """Combined token stream used by the embedder.
 
     Word tokens are prefixed ``w:`` and n-grams ``g:`` so the two vocabularies

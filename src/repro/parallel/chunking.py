@@ -32,7 +32,7 @@ def chunk_bounds(n: int, n_chunks: int) -> list[tuple[int, int]]:
     return bounds
 
 
-def chunk_indices(n: int, chunk_size: int) -> list[tuple[int, int]]:
+def chunk_indices(n: int, chunk_size: int) -> list[tuple[int, int]]:  # hotpath: chunks every batched query
     """Split ``range(n)`` into fixed-size ``[lo, hi)`` chunks (last may be short)."""
     if n < 0:
         raise ValueError("n must be non-negative")

@@ -31,8 +31,11 @@ __all__ = ["AnalysisCache", "file_digest"]
 # Schema history: 3 added module summaries + dep hashes; 4 added the
 # flow-sensitive tier (per-file flow-work counters, and findings that
 # depend on cross-file ``# unit:`` annotations — entries from schema 3
-# would be silently missing those findings, so they must not be served).
-CACHE_SCHEMA = 4
+# would be silently missing those findings, so they must not be served);
+# 5 added the perf tier (per-file perf-work counters and the summaries'
+# ``hotpaths`` table — schema-4 summaries lack the ``# hotpath:`` facts
+# the hot-path-gap rule reads, so they must not be served).
+CACHE_SCHEMA = 5
 
 
 def file_digest(data: bytes) -> str:

@@ -1,0 +1,304 @@
+"""Abstract domain for numpy values: dtype lattice + symbolic shapes.
+
+The perf dataflow tier interprets numpy expressions over
+:class:`ArrayValue` — a flat product of a dtype element and a symbolic
+shape.  Both components err toward "unknown": findings fire only when
+*both* operands of an interaction are concrete and provably conflicting,
+so the tier is quiet by construction on code it cannot follow.
+
+dtype lattice
+    ``None`` is top (unknown); :data:`WEAK` marks Python numeric literals,
+    which under NEP 50 never widen an array operand (``float32_arr * 2.0``
+    stays float32) and therefore never participate in upcast findings;
+    concrete elements are dtype name strings (``"float32"`` ...).
+
+symbolic shapes
+    ``None`` is an unknown shape; otherwise a tuple of dims, each an
+    ``int``, a symbol string (rendered from the source expression, e.g.
+    ``"n"`` or ``"X.shape[0]"``), or ``None`` for an unknown dim.  Two
+    dims conflict only when both are ints — distinct symbols are never
+    assumed unequal, so symbol staleness can only suppress findings,
+    never invent them.
+
+Annotations ride in comments (strings never match), scanned with the same
+tokenize-based approach as the unit tier's ``annotation_lines``:
+
+* ``# dtype: float32`` on an assignment declares the target's element
+  type; ``# dtype: X=float32, w=float64 -> float32`` on a ``def`` line
+  seeds parameters and declares the return dtype.
+* ``# shape: (n, k)`` on an assignment declares the target's shape.
+* ``# hotpath: <reason>`` marks a function as serve-critical (parsed
+  here, consumed by :mod:`repro.staticcheck.perf.hotpath`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+
+__all__ = [
+    "ArrayValue",
+    "WEAK",
+    "FLOAT_WIDTHS",
+    "promote",
+    "broadcast",
+    "render_shape",
+    "tagged_comments",
+    "parse_dtype_spec",
+    "parse_def_dtype_spec",
+    "parse_shape_spec",
+    "dim_symbol",
+]
+
+#: Recognised floating dtype names, by element width in bits.
+FLOAT_WIDTHS = {"float16": 16, "float32": 32, "float64": 64}
+
+_INT_DTYPES = {
+    "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64",
+    "intp", "bool",
+}
+
+#: Every dtype name an annotation or ``astype`` argument may use.
+KNOWN_DTYPES = set(FLOAT_WIDTHS) | _INT_DTYPES | {"complex64", "complex128"}
+
+
+class _Weak:
+    """Python numeric literal: dtype-polymorphic under NEP 50."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WEAK"
+
+
+WEAK = _Weak()
+
+
+class ArrayValue:
+    """Abstract numpy value: ``(dtype, shape)``, each possibly unknown."""
+
+    __slots__ = ("dtype", "shape")
+
+    def __init__(self, dtype=None, shape=None) -> None:
+        self.dtype = dtype
+        self.shape = shape
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ArrayValue):
+            return NotImplemented
+        return _dtype_eq(self.dtype, other.dtype) and self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash((str(self.dtype), self.shape))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArrayValue(dtype={self.dtype!r}, shape={self.shape!r})"
+
+    def is_weak(self) -> bool:
+        return isinstance(self.dtype, _Weak)
+
+    def join(self, other: "ArrayValue") -> "ArrayValue":
+        """Least upper bound: components that disagree go to unknown."""
+        dtype = self.dtype if _dtype_eq(self.dtype, other.dtype) else None
+        if self.shape is not None and other.shape is not None and len(self.shape) == len(other.shape):
+            shape = tuple(
+                a if a == b else None for a, b in zip(self.shape, other.shape)
+            )
+        else:
+            shape = self.shape if self.shape == other.shape else None
+        return ArrayValue(dtype, shape)
+
+
+def _dtype_eq(a, b) -> bool:
+    if isinstance(a, _Weak) or isinstance(b, _Weak):
+        return isinstance(a, _Weak) and isinstance(b, _Weak)
+    return a == b
+
+
+def promote(a: ArrayValue, b: ArrayValue):
+    """NEP 50 promotion of two abstract operands.
+
+    Returns ``(result_dtype, upcast)`` where ``upcast`` is ``None`` or a
+    ``(narrow, wide)`` pair naming a *silent* widening worth reporting:
+    mixed float widths, or an integer array meeting a sub-64-bit float
+    (``int64 + float32 -> float64`` doubles the element size).  Weak
+    scalars never widen anything; any unknown side yields unknown.
+    """
+    da, db = a.dtype, b.dtype
+    if isinstance(da, _Weak):
+        return (db if not isinstance(db, _Weak) else WEAK), None
+    if isinstance(db, _Weak):
+        return da, None
+    if da is None or db is None:
+        return None, None
+    if da == db:
+        return da, None
+    wa, wb = FLOAT_WIDTHS.get(da), FLOAT_WIDTHS.get(db)
+    if wa is not None and wb is not None:
+        narrow, wide = (da, db) if wa < wb else (db, da)
+        return wide, (narrow, wide)
+    # integer array + narrow float array promotes to float64 (NEP 50)
+    for ints, flt in ((da, db), (db, da)):
+        if ints in _INT_DTYPES and flt in FLOAT_WIDTHS:
+            if FLOAT_WIDTHS[flt] < 64:
+                return "float64", (flt, "float64")
+            return "float64", None
+    return None, None
+
+
+def broadcast(a: ArrayValue, b: ArrayValue):
+    """Elementwise-broadcast two shapes.
+
+    Returns ``(shape, conflict)``; ``conflict`` is ``None`` or a
+    ``(dim_a, dim_b, axis_from_end)`` triple where two *concrete* ints
+    disagree and neither is 1 — numpy would raise.  Symbolic or unknown
+    dims always unify quietly.
+    """
+    sa, sb = a.shape, b.shape
+    if sa is None or sb is None:
+        return None, None
+    if len(sa) < len(sb):
+        sa = (1,) * (len(sb) - len(sa)) + sa
+    elif len(sb) < len(sa):
+        sb = (1,) * (len(sa) - len(sb)) + sb
+    out = []
+    for pos, (da, db) in enumerate(zip(reversed(sa), reversed(sb))):
+        if da == 1:
+            out.append(db)
+        elif db == 1 or da == db:
+            out.append(da)
+        elif isinstance(da, int) and isinstance(db, int):
+            return None, (da, db, pos)
+        else:
+            out.append(None)
+    return tuple(reversed(out)), None
+
+
+def render_shape(shape) -> str:
+    """Human-readable shape: ``(n, 3)``; unknown dims render as ``?``."""
+    dims = ", ".join("?" if d is None else str(d) for d in shape)
+    if len(shape) == 1:
+        dims += ","
+    return f"({dims})"
+
+
+# -- comment annotations -------------------------------------------------------
+
+
+def tagged_comments(source: str, tag: str) -> dict:
+    """Map line number -> text of every ``# <tag>: ...`` comment.
+
+    Comments only — a ``# dtype:`` inside a string literal never counts.
+    Unparsable files yield no annotations (the syntax-error rule owns
+    that complaint).
+    """
+    prefix = f"# {tag}:"
+    out: dict = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT and tok.string.startswith(prefix):
+                out[tok.start[0]] = tok.string[len(prefix):].strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return out
+
+
+def parse_dtype_spec(spec: str):
+    """``float32`` -> ``"float32"``; unknown names -> ``None``."""
+    spec = spec.strip()
+    return spec if spec in KNOWN_DTYPES else None
+
+
+def parse_def_dtype_spec(spec: str):
+    """Parse a def-line spec ``X=float32, w=float64 -> float32``.
+
+    Returns ``(params, ret)``: a name->dtype dict and the declared return
+    dtype (or ``None``).  Malformed fragments are skipped rather than
+    guessed at.
+    """
+    ret = None
+    if "->" in spec:
+        spec, _, ret_part = spec.partition("->")
+        ret = parse_dtype_spec(ret_part)
+    params: dict = {}
+    for part in spec.split(","):
+        name, eq, value = part.partition("=")
+        if not eq:
+            continue
+        dtype = parse_dtype_spec(value)
+        if dtype is not None and name.strip().isidentifier():
+            params[name.strip()] = dtype
+    return params, ret
+
+
+def parse_shape_spec(spec: str):
+    """Parse ``(n, 3)`` / ``(n,)`` into a dim tuple, or ``None``.
+
+    Dims may be decimal ints or identifiers (kept as symbols); anything
+    else makes the whole spec unusable.
+    """
+    spec = spec.strip()
+    if not (spec.startswith("(") and spec.endswith(")")):
+        return None
+    dims = []
+    for part in spec[1:-1].split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.lstrip("-").isdigit():
+            dims.append(int(part))
+        elif part.isidentifier():
+            dims.append(part)
+        else:
+            return None
+    return tuple(dims)
+
+
+def dim_symbol(node):
+    """Symbol for a dimension expression, or ``None`` if unrenderable.
+
+    Int literals stay ints; names and ``X.shape[0]`` / ``len(X)`` style
+    expressions render to stable strings so equal source text means equal
+    symbol.  Symbols compare by string only — good enough within one
+    function, and mismatches only suppress findings (see module doc).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "shape"
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, int)
+    ):
+        base = _render_chain(node.value.value)
+        if base is not None:
+            return f"{base}.shape[{node.slice.value}]"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        base = _render_chain(node.args[0])
+        if base is not None:
+            return f"len({base})"
+    return None
+
+
+def _render_chain(node):
+    """Render ``a.b.c`` attribute chains; anything else is unrenderable."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

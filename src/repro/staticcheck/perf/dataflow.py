@@ -1,0 +1,617 @@
+"""Shape/dtype abstract interpretation over numpy expressions.
+
+Three rules share one forward fixpoint per function CFG (the PR 5
+worklist engine), mapping local names to
+:class:`~repro.staticcheck.perf.arrays.ArrayValue` points:
+
+* ``dtype-upcast`` — arithmetic mixes two concretely known element types
+  that numpy silently widens (``float32 * float64``, or an integer array
+  meeting a sub-64-bit float): the classic 2x memory-traffic regression
+  on a hot kernel.  Python literals are NEP 50 weak scalars and never
+  fire this (``float32_arr * 2.0`` stays float32).
+* ``dtype-narrowing`` — a value of concretely wider float dtype flows
+  into a target declared ``# dtype: float32`` (or a ``def``'s declared
+  ``-> float32`` return): silent precision loss that an explicit
+  ``astype`` would make visible.
+* ``broadcast-mismatch`` — an elementwise operation combines two known
+  shapes whose trailing dims are unequal concrete ints with no 1 to
+  broadcast over: numpy will raise at runtime, on whatever input first
+  reaches the line.
+
+dtype facts enter from numpy constructors (``np.zeros(...,
+dtype=np.float32)`` and friends), ``astype``, scalar constructors and
+``# dtype:`` annotations; shape facts from constructor shape arguments,
+``reshape``/``.T`` and ``# shape:`` annotations, with dims tracked
+symbolically (``n``, ``X.shape[0]``).  Everything else is unknown and
+unknown never fires — the tier is silent on code it cannot follow.
+
+All facts are file-local (annotations + construction sites in the same
+file), so the rules are sound under the incremental cache.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.flow import cfgs_for
+from repro.staticcheck.flow.cfg import ExceptBind, ForBind, Test, WithEnter, WithExit
+from repro.staticcheck.flow.fixpoint import ForwardAnalysis, run_forward
+from repro.staticcheck.perf import COUNTERS
+from repro.staticcheck.perf.arrays import (
+    FLOAT_WIDTHS,
+    ArrayValue,
+    WEAK,
+    broadcast,
+    dim_symbol,
+    parse_def_dtype_spec,
+    parse_dtype_spec,
+    parse_shape_spec,
+    promote,
+    render_shape,
+    tagged_comments,
+)
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["DtypeUpcastRule", "DtypeNarrowingRule", "BroadcastMismatchRule"]
+
+_UNKNOWN = ArrayValue()
+
+#: Constructors whose first argument is the shape; value = default dtype.
+_SHAPE_CONSTRUCTORS = {
+    "numpy.zeros": "float64",
+    "numpy.ones": "float64",
+    "numpy.empty": "float64",
+    "numpy.full": None,
+}
+
+#: ``*_like`` constructors: dtype and shape follow the prototype argument.
+_LIKE_CONSTRUCTORS = {
+    "numpy.zeros_like",
+    "numpy.ones_like",
+    "numpy.empty_like",
+    "numpy.full_like",
+}
+
+#: float64-by-default range constructors (1-D result).
+_RANGE_CONSTRUCTORS = {"numpy.linspace", "numpy.logspace", "numpy.geomspace"}
+
+#: Conversions that preserve shape and take an optional dtype.
+_AS_ARRAY = {"numpy.asarray", "numpy.array", "numpy.ascontiguousarray", "numpy.asfortranarray"}
+
+#: Elementwise unary numpy functions that preserve a float dtype.
+_FLOAT_PRESERVING = {
+    "numpy.abs", "numpy.sqrt", "numpy.exp", "numpy.log", "numpy.log2",
+    "numpy.log10", "numpy.sin", "numpy.cos", "numpy.tanh", "numpy.floor",
+    "numpy.ceil", "numpy.rint", "numpy.clip", "numpy.negative",
+}
+
+#: Binary elementwise numpy functions that promote like operators.
+_PROMOTING_BINARY = {"numpy.maximum", "numpy.minimum", "numpy.add", "numpy.subtract", "numpy.multiply", "numpy.divide", "numpy.power", "numpy.hypot", "numpy.fmax", "numpy.fmin"}
+
+#: Methods transparent to dtype (shape becomes unknown).
+_DTYPE_PRESERVING_METHODS = {"sum", "min", "max", "prod", "cumsum", "copy", "clip", "round"}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def _dtype_from_node(node, module):
+    """dtype named by an ``astype``/``dtype=`` argument, or ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return parse_dtype_spec(node.value)
+    dotted = module.dotted_name(node)
+    if dotted is None:
+        return None
+    if dotted.startswith("numpy."):
+        return parse_dtype_spec(dotted[len("numpy."):])
+    if dotted == "float":
+        return "float64"
+    if dotted in ("int", "bool"):
+        return "int64" if dotted == "int" else "bool"
+    return None
+
+
+def _shape_from_args(call: ast.Call):
+    """Shape tuple from a constructor's shape argument(s)."""
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, (ast.Tuple, ast.List)):
+        return tuple(dim_symbol(elt) for elt in first.elts)
+    dim = dim_symbol(first)
+    return (dim,) if dim is not None else (None,)
+
+
+class _Env:
+    """File-local declaration seeds for one module."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.dtype_lines = tagged_comments(module.source, "dtype")
+        self.shape_lines = tagged_comments(module.source, "shape")
+
+
+def _line_annotation(stmt, lines: dict):
+    end = getattr(stmt, "end_lineno", None) or stmt.lineno
+    for line in range(stmt.lineno, end + 1):
+        if line in lines:
+            return lines[line]
+    return None
+
+
+def _def_annotation(fn, lines: dict):
+    first_body_line = fn.body[0].lineno if fn.body else fn.lineno + 1
+    for line in range(fn.lineno, first_body_line):
+        if line in lines:
+            return lines[line]
+    return None
+
+
+class _ArrayAnalysis(ForwardAnalysis):
+    """Forward analysis: local name -> ArrayValue (absent = unknown)."""
+
+    def __init__(self, env: _Env, params: dict) -> None:
+        self.env = env
+        self.params = params
+
+    def initial(self):
+        return dict(self.params)
+
+    def join(self, a, b):
+        out = {}
+        for name in a.keys() & b.keys():
+            value = a[name].join(b[name])
+            if value != _UNKNOWN:
+                out[name] = value
+        return out
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval(self, expr, state, report=None) -> ArrayValue:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float, complex)) and not isinstance(
+                expr.value, bool
+            ):
+                return ArrayValue(WEAK, ())
+            return _UNKNOWN
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, _UNKNOWN)
+        if isinstance(expr, ast.Attribute):
+            value = self.eval(expr.value, state, report)
+            if expr.attr == "T":
+                shape = (
+                    tuple(reversed(value.shape))
+                    if value.shape is not None and len(value.shape) >= 2
+                    else None
+                )
+                return ArrayValue(value.dtype, shape)
+            if expr.attr == "real":
+                return ArrayValue(value.dtype, value.shape)
+            return _UNKNOWN
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, state, report)
+            right = self.eval(expr.right, state, report)
+            return self._binop(expr, left, right, report)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.eval(expr.operand, state, report)
+            if isinstance(expr.op, (ast.UAdd, ast.USub, ast.Invert)):
+                return value
+            return _UNKNOWN
+        if isinstance(expr, ast.Compare):
+            left = self.eval(expr.left, state, report)
+            shape = None
+            for comparator in expr.comparators:
+                right = self.eval(comparator, state, report)
+                shape, conflict = broadcast(left, right)
+                if conflict is not None and report is not None:
+                    self._report_broadcast(expr, left, right, conflict, report)
+                left = right
+            return ArrayValue("bool", shape)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, state, report)
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, state, report)
+            then = self.eval(expr.body, state, report)
+            other = self.eval(expr.orelse, state, report)
+            return then.join(other)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.eval(value, state, report)
+            return _UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self.eval(element, state, report)
+            return _UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            value = self.eval(expr.value, state, report)
+            if not isinstance(expr.slice, (ast.Tuple, ast.Slice)):
+                self.eval(expr.slice, state, report)
+            # Indexing preserves the element type; the result shape
+            # depends on the index kind, which we do not model.
+            return ArrayValue(value.dtype, None)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state, report)
+        return _UNKNOWN
+
+    def _binop(self, node, left, right, report) -> ArrayValue:
+        if isinstance(node.op, ast.MatMult):
+            dtype, upcast = promote(left, right)
+            if upcast is not None and report is not None:
+                self._report_upcast(node, upcast, report)
+            shape = None
+            if (
+                left.shape is not None
+                and right.shape is not None
+                and len(left.shape) == 2
+                and len(right.shape) == 2
+            ):
+                inner_l, inner_r = left.shape[1], right.shape[1 - 1]
+                if (
+                    isinstance(inner_l, int)
+                    and isinstance(inner_r, int)
+                    and inner_l != inner_r
+                ):
+                    if report is not None:
+                        report(
+                            "broadcast-mismatch",
+                            node,
+                            f"matmul of {render_shape(left.shape)} @ "
+                            f"{render_shape(right.shape)}: inner dimensions "
+                            f"{inner_l} and {inner_r} differ",
+                        )
+                else:
+                    shape = (left.shape[0], right.shape[1])
+            return ArrayValue(dtype, shape)
+        if isinstance(node.op, _ARITH_OPS):
+            dtype, upcast = promote(left, right)
+            if upcast is not None and report is not None:
+                self._report_upcast(node, upcast, report)
+            shape, conflict = broadcast(left, right)
+            if conflict is not None and report is not None:
+                self._report_broadcast(node, left, right, conflict, report)
+            return ArrayValue(dtype, shape)
+        return _UNKNOWN
+
+    @staticmethod
+    def _report_upcast(node, upcast, report) -> None:
+        narrow, wide = upcast
+        report(
+            "dtype-upcast",
+            node,
+            f"mixes {narrow} and {wide} in arithmetic — numpy silently "
+            f"upcasts the result to {wide}; cast one operand explicitly "
+            "(element width drives hot-path memory traffic)",
+        )
+
+    @staticmethod
+    def _report_broadcast(node, left, right, conflict, report) -> None:
+        da, db, pos = conflict
+        report(
+            "broadcast-mismatch",
+            node,
+            f"combines shapes {render_shape(left.shape)} and "
+            f"{render_shape(right.shape)}: dims {da} and {db} "
+            f"(axis -{pos + 1}) cannot broadcast — this raises at runtime",
+        )
+
+    def _call(self, node: ast.Call, state, report) -> ArrayValue:
+        args = [self.eval(arg, state, report) for arg in node.args]
+        dtype_kw = None
+        for keyword in node.keywords:
+            value = self.eval(keyword.value, state, report)
+            if keyword.arg == "dtype":
+                dtype_kw = _dtype_from_node(keyword.value, self.env.module)
+            del value
+        dotted = self.env.module.dotted_name(node.func)
+        if dotted is None and isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state, report)
+            return self._method(node, receiver, args, dtype_kw, report)
+        if dotted is None:
+            return _UNKNOWN
+        if dotted in _SHAPE_CONSTRUCTORS:
+            default = _SHAPE_CONSTRUCTORS[dotted]
+            if default is None and len(args) >= 2 and args[1].is_weak():
+                default = "float64"
+            elif default is None and len(args) >= 2:
+                default = args[1].dtype if not args[1].is_weak() else None
+            return ArrayValue(dtype_kw or default, _shape_from_args(node))
+        if dotted in _LIKE_CONSTRUCTORS and args:
+            proto = args[0]
+            return ArrayValue(dtype_kw or proto.dtype, proto.shape)
+        if dotted in _RANGE_CONSTRUCTORS:
+            num = dim_symbol(node.args[2]) if len(node.args) >= 3 else None
+            return ArrayValue(dtype_kw or "float64", (num,))
+        if dotted == "numpy.arange":
+            has_float = any(
+                isinstance(a, ast.Constant) and isinstance(a.value, float)
+                for a in node.args
+            )
+            return ArrayValue(dtype_kw or ("float64" if has_float else None), (None,))
+        if dotted in ("numpy.eye", "numpy.identity"):
+            n = dim_symbol(node.args[0]) if node.args else None
+            return ArrayValue(dtype_kw or "float64", (n, n))
+        if dotted in _AS_ARRAY and args:
+            return ArrayValue(dtype_kw or args[0].dtype, args[0].shape)
+        if dotted.startswith("numpy.") and parse_dtype_spec(dotted[len("numpy."):]):
+            return ArrayValue(parse_dtype_spec(dotted[len("numpy."):]), ())
+        if dotted in _FLOAT_PRESERVING and args:
+            value = args[0]
+            if value.dtype in FLOAT_WIDTHS:
+                return ArrayValue(value.dtype, value.shape)
+            return ArrayValue(None, value.shape)
+        if dotted in _PROMOTING_BINARY and len(args) >= 2:
+            dtype, upcast = promote(args[0], args[1])
+            if upcast is not None and report is not None:
+                self._report_upcast(node, upcast, report)
+            shape, conflict = broadcast(args[0], args[1])
+            if conflict is not None and report is not None:
+                self._report_broadcast(node, args[0], args[1], conflict, report)
+            return ArrayValue(dtype, shape)
+        if dotted == "numpy.where" and len(args) == 3:
+            dtype, upcast = promote(args[1], args[2])
+            if upcast is not None and report is not None:
+                self._report_upcast(node, upcast, report)
+            return ArrayValue(dtype, None)
+        return _UNKNOWN
+
+    def _method(self, node: ast.Call, receiver: ArrayValue, args, dtype_kw, report) -> ArrayValue:
+        attr = node.func.attr
+        if attr == "astype" and node.args:
+            dtype = _dtype_from_node(node.args[0], self.env.module)
+            return ArrayValue(dtype or dtype_kw, receiver.shape)
+        if attr == "copy":
+            return receiver
+        if attr == "reshape":
+            if len(node.args) == 1 and isinstance(node.args[0], (ast.Tuple, ast.List)):
+                dims = tuple(dim_symbol(e) for e in node.args[0].elts)
+            else:
+                dims = tuple(dim_symbol(a) for a in node.args)
+            dims = tuple(None if d == -1 else d for d in dims)
+            return ArrayValue(receiver.dtype, dims if dims else None)
+        if attr in ("ravel", "flatten"):
+            return ArrayValue(receiver.dtype, (None,))
+        if attr == "transpose":
+            shape = (
+                tuple(reversed(receiver.shape))
+                if receiver.shape is not None and not node.args
+                else None
+            )
+            return ArrayValue(receiver.dtype, shape)
+        if attr in _DTYPE_PRESERVING_METHODS:
+            return ArrayValue(receiver.dtype, None)
+        if attr in ("mean", "std", "var"):
+            if receiver.dtype in FLOAT_WIDTHS:
+                return ArrayValue(receiver.dtype, None)
+            return ArrayValue("float64" if receiver.dtype is not None else None, None)
+        return _UNKNOWN
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, element, state):
+        if isinstance(element, (Test, WithExit, ast.Return, ast.Expr, ast.Raise)):
+            return state
+        if isinstance(element, ForBind):
+            target = element.node.target
+            if isinstance(target, ast.Name):
+                iterated = self.eval(element.node.iter, state, None)
+                out = dict(state)
+                element_shape = (
+                    iterated.shape[1:]
+                    if iterated.shape is not None and len(iterated.shape) >= 1
+                    else None
+                )
+                self._bind(out, target.id, ArrayValue(iterated.dtype, element_shape))
+                return out
+            return self._clear_targets(target, state)
+        if isinstance(element, WithEnter):
+            if element.item.optional_vars is not None:
+                return self._clear_targets(element.item.optional_vars, state)
+            return state
+        if isinstance(element, ExceptBind):
+            name = element.handler.name
+            if name and name in state:
+                out = dict(state)
+                out.pop(name)
+                return out
+            return state
+        if isinstance(element, ast.Assign):
+            return self._assign(element, element.targets, element.value, state)
+        if isinstance(element, ast.AnnAssign):
+            if element.value is None:
+                return state
+            return self._assign(element, [element.target], element.value, state)
+        if isinstance(element, ast.AugAssign):
+            if not isinstance(element.target, ast.Name):
+                return state
+            current = state.get(element.target.id, _UNKNOWN)
+            value = self.eval(element.value, state, None)
+            # In-place ops keep the target's dtype; shape may broadcast.
+            out = dict(state)
+            self._bind(out, element.target.id, ArrayValue(current.dtype, current.shape))
+            return out
+        return state
+
+    def _assign(self, stmt, targets, value_expr, state):
+        value = self.eval(value_expr, state, None)
+        declared_dtype = self._declared_dtype(stmt)
+        declared_shape = self._declared_shape(stmt)
+        if declared_dtype is not None or declared_shape is not None:
+            value = ArrayValue(declared_dtype or value.dtype, declared_shape or value.shape)
+        out = dict(state)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._bind(out, target.id, value)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                out = self._clear_targets(target, out)
+        return out
+
+    def _declared_dtype(self, stmt):
+        raw = _line_annotation(stmt, self.env.dtype_lines)
+        return parse_dtype_spec(raw) if raw is not None else None
+
+    def _declared_shape(self, stmt):
+        raw = _line_annotation(stmt, self.env.shape_lines)
+        return parse_shape_spec(raw) if raw is not None else None
+
+    @staticmethod
+    def _bind(state, name, value: ArrayValue) -> None:
+        if value == _UNKNOWN:
+            state.pop(name, None)
+        else:
+            state[name] = value
+
+    def _clear_targets(self, target, state):
+        names = [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
+        if not any(name in state for name in names):
+            return state
+        out = dict(state)
+        for name in names:
+            out.pop(name, None)
+        return out
+
+
+def _narrowing_check(analysis, env, element, state, return_dtype, report):
+    """Declaration-vs-value dtype checks for one statement."""
+    if isinstance(element, ast.Return) and element.value is not None:
+        value = analysis.eval(element.value, state, None)
+        if (
+            return_dtype in FLOAT_WIDTHS
+            and value.dtype in FLOAT_WIDTHS
+            and FLOAT_WIDTHS[value.dtype] > FLOAT_WIDTHS[return_dtype]
+        ):
+            report(
+                "dtype-narrowing",
+                element,
+                f"returns {value.dtype} from a function declared "
+                f"-> {return_dtype}: silent precision loss at the call "
+                "boundary; astype explicitly",
+            )
+        return
+    if isinstance(element, (ast.Assign, ast.AnnAssign)) and element.value is not None:
+        declared = analysis._declared_dtype(element)
+        if declared is None:
+            return
+        value = analysis.eval(element.value, state, None)
+        if (
+            declared in FLOAT_WIDTHS
+            and value.dtype in FLOAT_WIDTHS
+            and FLOAT_WIDTHS[value.dtype] > FLOAT_WIDTHS[declared]
+        ):
+            report(
+                "dtype-narrowing",
+                element,
+                f"assigns a {value.dtype} value to a target annotated "
+                f"# dtype: {declared}: silent precision loss; astype "
+                "explicitly",
+            )
+
+
+def module_array_findings(module) -> list:
+    """All dataflow findings for one file: ``(rule_id, line, col, message)``.
+
+    One fixpoint per function CFG, shared by the three dtype/shape rules
+    and memoized on the :class:`ModuleContext`.
+    """
+    cached = getattr(module, "_perf_array_findings", None)
+    if cached is not None:
+        return cached
+
+    env = _Env(module)
+    findings: list = []
+    reported: set = set()
+
+    def report(rule_id, node, message):
+        key = (rule_id, node.lineno, node.col_offset, message)
+        if key not in reported:
+            reported.add(key)
+            findings.append((rule_id, node.lineno, node.col_offset, message))
+
+    for graph in cfgs_for(module):
+        params: dict = {}
+        return_dtype = None
+        if graph.node is not None:
+            raw = _def_annotation(graph.node, env.dtype_lines)
+            if raw is not None:
+                specs, return_dtype = parse_def_dtype_spec(raw)
+                params = {name: ArrayValue(dtype, None) for name, dtype in specs.items()}
+        analysis = _ArrayAnalysis(env, params)
+        COUNTERS["array_fixpoints"] += 1
+        result = run_forward(graph.cfg, analysis)
+        for block in graph.cfg.blocks:
+            if block.id not in result.in_states:
+                continue  # unreachable
+            state = result.in_states[block.id]
+            for element in block.elements:
+                _visit_element(analysis, env, element, state, return_dtype, report)
+                state = analysis.transfer(element, state)
+
+    module._perf_array_findings = findings
+    return findings
+
+
+def _visit_element(analysis, env, element, state, return_dtype, report):
+    if isinstance(element, Test):
+        analysis.eval(element.expr, state, report)
+        return
+    if isinstance(element, (ForBind, WithExit, ExceptBind)):
+        return
+    if isinstance(element, WithEnter):
+        analysis.eval(element.item.context_expr, state, report)
+        return
+    if isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested scopes get their own graphs
+    if isinstance(element, (ast.Return, ast.Assign, ast.AnnAssign)):
+        if getattr(element, "value", None) is not None:
+            analysis.eval(element.value, state, report)
+        _narrowing_check(analysis, env, element, state, return_dtype, report)
+        return
+    if isinstance(element, ast.AugAssign):
+        analysis.eval(element.value, state, report)
+        return
+    if isinstance(element, ast.Expr):
+        analysis.eval(element.value, state, report)
+        return
+    if isinstance(element, ast.Assert):
+        analysis.eval(element.test, state, report)
+        return
+    for child in ast.iter_child_nodes(element):
+        if isinstance(child, ast.expr):
+            analysis.eval(child, state, report)
+
+
+class _ArrayRuleBase(Rule):
+    """One shared dataflow pass; each subclass yields its rule's slice."""
+
+    def check(self, module):
+        for rule_id, line, col, message in module_array_findings(module):
+            if rule_id == self.id:
+                yield Finding(
+                    path=module.path, line=line, col=col, rule_id=self.id, message=message
+                )
+
+
+@register
+class DtypeUpcastRule(_ArrayRuleBase):
+    id = "dtype-upcast"
+    description = (
+        "arithmetic mixes float32/float16 with float64 (or int arrays with "
+        "narrow floats) and numpy silently widens the result"
+    )
+
+
+@register
+class DtypeNarrowingRule(_ArrayRuleBase):
+    id = "dtype-narrowing"
+    description = (
+        "a wider float value flows into a target declared # dtype: narrower "
+        "(or a declared -> dtype return): silent precision loss"
+    )
+
+
+@register
+class BroadcastMismatchRule(_ArrayRuleBase):
+    id = "broadcast-mismatch"
+    description = (
+        "an elementwise operation combines statically known shapes whose "
+        "concrete dims cannot broadcast; numpy raises at runtime"
+    )

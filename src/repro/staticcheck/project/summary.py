@@ -226,6 +226,9 @@ class ModuleSummary:
     #: lock/thread facts for the concurrency rules (see _ConcurrencyWalker):
     #: {"locks": {id: [kind, line]}, "functions": {qual: {...}}}
     concurrency: dict = field(default_factory=dict)
+    #: function qualname -> ``# hotpath:`` annotation text, for the perf
+    #: tier's cross-module hot-path-gap rule.
+    hotpaths: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -243,6 +246,7 @@ class ModuleSummary:
             "function_taint": self.function_taint,
             "directives": self.directives,
             "concurrency": self.concurrency,
+            "hotpaths": self.hotpaths,
         }
 
     @classmethod
@@ -264,6 +268,7 @@ class ModuleSummary:
             function_taint=doc["function_taint"],
             directives=doc["directives"],
             concurrency=doc.get("concurrency", {}),
+            hotpaths=doc.get("hotpaths", {}),
         )
 
 
@@ -904,6 +909,11 @@ def build_summary(path: str, source: str, tree: ast.Module, module_name: str | N
     _collect_symbol_refs(summary, tree)
     _ScopeWalker(summary).walk_module(tree)
     _ConcurrencyWalker(summary).walk(tree)
+    # Deferred import: perf.hotpath registers a project rule on import,
+    # and pulling it in at module scope would tangle package init order.
+    from repro.staticcheck.perf.hotpath import annotated_quals
+
+    summary.hotpaths = annotated_quals(tree, source)
     summary.directives = [
         {"line": d.line, "rules": sorted(d.rule_ids), "covers": list(d.covers)}
         for d in parse_directives(source)

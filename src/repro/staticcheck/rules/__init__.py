@@ -2,6 +2,18 @@
 
 from repro.staticcheck.flow.resources import DoubleReleaseRule, ResourceLeakRule
 from repro.staticcheck.flow.units import UnitMismatchRule
+from repro.staticcheck.perf.dataflow import (
+    BroadcastMismatchRule,
+    DtypeNarrowingRule,
+    DtypeUpcastRule,
+)
+from repro.staticcheck.perf.vectorization import (
+    HiddenCopyRule,
+    LoopAllocRule,
+    PerItemCallRule,
+    QuadraticGrowthRule,
+    ScalarLoopRule,
+)
 from repro.staticcheck.rules.defaults import MutableDefaultRule
 from repro.staticcheck.rules.exceptions import SilentExceptRule
 from repro.staticcheck.rules.exports import ExportDriftRule
@@ -12,11 +24,19 @@ from repro.staticcheck.rules.randomness import UnseededRngRule
 from repro.staticcheck.rules.timing import WallclockTimingRule
 
 __all__ = [
+    "BroadcastMismatchRule",
     "DoubleReleaseRule",
+    "DtypeNarrowingRule",
+    "DtypeUpcastRule",
     "ExportDriftRule",
     "FloatEqualityRule",
+    "HiddenCopyRule",
+    "LoopAllocRule",
     "MutableDefaultRule",
+    "PerItemCallRule",
+    "QuadraticGrowthRule",
     "ResourceLeakRule",
+    "ScalarLoopRule",
     "SilentExceptRule",
     "UnitMismatchRule",
     "UnorderedIterationRule",

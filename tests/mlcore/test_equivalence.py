@@ -69,6 +69,37 @@ class TestNeighborEquivalence:
         assert np.array_equal(i_b, i_ref)
         assert np.array_equal(d_b, d_ref)
 
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("k", [1, 5, 17])
+    def test_brute_duplicate_heavy_matches_scalar_reference(self, k, p):
+        # duplicate-heavy lattice batches drive nearly every query row
+        # through the tie-admission path; the no-duplicates fast path and
+        # the partition-based admission rewrite must stay exact on both
+        rng = np.random.default_rng(23)
+        X = lattice(rng, 400, 3, span=3)
+        Q = lattice(rng, 90, 3, span=3)
+        d_ref, i_ref = brute_kneighbors_scalar(X, Q, k, p=p)
+        knn = KNeighborsClassifier(k, p=p, algorithm="brute", chunk_size=29)
+        knn.fit(X, np.arange(X.shape[0]) % 2)
+        d_b, i_b = knn.kneighbors(Q)
+        assert np.array_equal(i_b, i_ref)
+        assert np.array_equal(d_b, d_ref)
+
+    def test_brute_tie_free_batch_matches_scalar_reference(self):
+        # continuous data: the batch-level no-ties early return is taken
+        rng = np.random.default_rng(29)
+        X = rng.normal(size=(300, 4))
+        Q = rng.normal(size=(70, 4))
+        d_ref, i_ref = brute_kneighbors_scalar(X, Q, 5)
+        knn = KNeighborsClassifier(5, algorithm="brute").fit(
+            X, np.arange(X.shape[0]) % 2
+        )
+        d_b, i_b = knn.kneighbors(Q)
+        assert np.array_equal(i_b, i_ref)
+        # continuous data: the BLAS-identity distances agree to rounding,
+        # not bit-for-bit (that guarantee is lattice-only)
+        np.testing.assert_allclose(d_b, d_ref, rtol=1e-12, atol=1e-12)
+
     def test_brute_and_kdtree_classifiers_agree_continuous(self):
         rng = np.random.default_rng(11)
         X = rng.normal(size=(200, 4))

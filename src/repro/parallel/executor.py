@@ -9,6 +9,8 @@ drained.
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -34,16 +36,27 @@ class ExecutorConfig:
         Python CPU-bound work at the cost of pickling.
     n_workers:
         Worker count; ``None`` means ``os.cpu_count()``.
+    start_method:
+        "fork", "spawn" or "forkserver" for the process backend;
+        ``None`` uses the platform default.  Pinning "spawn" guarantees
+        workers inherit no parent locks or handles, at the cost of
+        re-importing the task's module in each worker.
     """
 
     backend: str = "serial"
     n_workers: int | None = None
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "thread", "process"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.n_workers is not None and self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.start_method is not None:
+            if self.backend != "process":
+                raise ValueError("start_method only applies to the 'process' backend")
+            if self.start_method not in ("fork", "spawn", "forkserver"):
+                raise ValueError(f"unknown start_method {self.start_method!r}")
 
 
 def effective_workers(config: ExecutorConfig) -> int:
@@ -51,6 +64,58 @@ def effective_workers(config: ExecutorConfig) -> int:
     if config.backend == "serial":
         return 1
     return config.n_workers or os.cpu_count() or 1
+
+
+def _unpicklable_path(obj: object, path: str, depth: int = 0) -> str | None:
+    """Object path of the innermost unpicklable constituent, or None.
+
+    Descends the same graph pickle would serialize — closure cells (named
+    by ``co_freevars``), the instance behind a bound method, ``partial``
+    components and instance ``__dict__`` attributes — so the error names
+    the actual culprit (``fn.__closure__['lock']``) instead of the opaque
+    top-level failure pickle reports.  Depth-bounded: past a few levels
+    the path stops being more useful than pickle's own message.
+    """
+    try:
+        pickle.dumps(obj)
+        return None
+    except Exception:  # staticcheck: ignore[silent-except] - any raise means "unpicklable"; the walk below names the culprit
+        pass
+    if depth >= 4:
+        return path
+    code = getattr(obj, "__code__", None)
+    cells = getattr(obj, "__closure__", None)
+    if code is not None and cells:
+        for name, cell in zip(code.co_freevars, cells):
+            try:
+                value = cell.cell_contents
+            except ValueError:  # empty cell
+                continue
+            deeper = _unpicklable_path(value, f"{path}.__closure__[{name!r}]", depth + 1)
+            if deeper is not None:
+                return deeper
+    bound_self = getattr(obj, "__self__", None)
+    if bound_self is not None:
+        deeper = _unpicklable_path(bound_self, f"{path}.__self__", depth + 1)
+        if deeper is not None:
+            return deeper
+    if isinstance(obj, functools.partial):
+        for i, arg in enumerate(obj.args):
+            deeper = _unpicklable_path(arg, f"{path}.args[{i}]", depth + 1)
+            if deeper is not None:
+                return deeper
+        for key, value in obj.keywords.items():
+            deeper = _unpicklable_path(value, f"{path}.keywords[{key!r}]", depth + 1)
+            if deeper is not None:
+                return deeper
+        return _unpicklable_path(obj.func, f"{path}.func", depth + 1)
+    attrs = getattr(obj, "__dict__", None)
+    if isinstance(attrs, dict):
+        for name in sorted(attrs):
+            deeper = _unpicklable_path(attrs[name], f"{path}.{name}", depth + 1)
+            if deeper is not None:
+                return deeper
+    return path
 
 
 def ensure_picklable(fn: Callable) -> None:
@@ -64,16 +129,20 @@ def ensure_picklable(fn: Callable) -> None:
     Raises
     ------
     ValueError
-        Naming the offending callable and how to fix it.
+        Naming the offending callable, the *object path* of the innermost
+        unpicklable constituent (which closure cell, which attribute of
+        the bound instance, which ``partial`` argument), and how to fix it.
     """
     try:
         pickle.dumps(fn)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         name = getattr(fn, "__qualname__", None) or repr(fn)
+        culprit = _unpicklable_path(fn, name) or name
         raise ValueError(
             f"parallel_map: task {name!r} is not picklable, so it cannot run "
-            f"on the 'process' backend ({exc}). Define the task at module "
-            "top level, or use the 'thread' or 'serial' backend."
+            f"on the 'process' backend; the unpicklable part is {culprit!r} "
+            f"({exc}). Define the task at module top level with picklable "
+            "state, or use the 'thread' or 'serial' backend."
         ) from exc
 
 
@@ -94,10 +163,16 @@ def parallel_map(
     workers = min(effective_workers(config), max(1, len(items)))
     if workers <= 1 or config.backend == "serial":
         return [fn(x) for x in items]
-    if config.backend == "process":
-        ensure_picklable(fn)
-    pool_cls = ThreadPoolExecutor if config.backend == "thread" else ProcessPoolExecutor
-    with pool_cls(max_workers=workers) as pool:
+    if config.backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    ensure_picklable(fn)
+    context = (
+        multiprocessing.get_context(config.start_method)
+        if config.start_method is not None
+        else None
+    )
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
         return list(pool.map(fn, items))
 
 

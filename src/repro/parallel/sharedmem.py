@@ -11,7 +11,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.sanitizers import new_lock
+from repro.sanitizers import enabled, new_lock, record
 
 __all__ = ["SharedArray"]
 
@@ -55,7 +55,19 @@ class SharedArray:
     @classmethod
     def attach(cls, name: str, shape, dtype) -> "SharedArray":
         """Attach to a segment created elsewhere (non-owning)."""
-        shm = shared_memory.SharedMemory(name=name)
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            # The runtime oracle for the static ``sharedmem-protocol``
+            # rule: the segment name is gone, so the owner unlinked it
+            # while this side still expected to use it.
+            if enabled():
+                record(
+                    "sharedmem-use-after-unlink",
+                    segment=name,
+                    reason="attach after the owner unlinked the segment",
+                )
+            raise
         return cls(shm, tuple(shape), dtype, owner=False)
 
     # -- descriptor for pickling across processes --------------------------------
@@ -92,6 +104,12 @@ class SharedArray:
         with self._lifecycle:
             if self._unlinked:
                 return
+            if not self._owner and enabled():
+                record(
+                    "sharedmem-protocol",
+                    segment=self.name,
+                    reason="non-owning attacher unlinked the segment",
+                )
             self._unlinked = True
             self._shm.unlink()
 

@@ -22,7 +22,8 @@ exit.  Detections are *recorded*, never raised — a sanitized tier-1 run
 must pass, with hazards read back via :func:`events`.
 """
 
-from repro.sanitizers.events import SanitizerEvent, clear_events, events, record
+from repro.sanitizers.events import SanitizerEvent, clear_events, events, flush_log, record
+from repro.sanitizers.forkaware import install as _install_fork_hook
 from repro.sanitizers.lockorder import TrackedLock, clear_lock_graph, lock_graph, new_lock
 from repro.sanitizers.numerics import check_finite, numeric_trap
 from repro.sanitizers.runtime import enabled, sanitize
@@ -37,9 +38,14 @@ __all__ = [
     "clear_lock_graph",
     "enabled",
     "events",
+    "flush_log",
     "lock_graph",
     "new_lock",
     "numeric_trap",
     "record",
     "sanitize",
 ]
+
+# Fork children must not inherit the parent's sanitizer state (events,
+# order graph, guard versions, internal locks); see forkaware.
+_install_fork_hook()

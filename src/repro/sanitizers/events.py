@@ -16,22 +16,33 @@ import os
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["SanitizerEvent", "clear_events", "events", "record"]
+__all__ = ["SanitizerEvent", "clear_events", "events", "flush_log", "record"]
 
 LOG_ENV = "REPRO_SANITIZE_LOG"
+
+#: pid that imported this module — a differing ``os.getpid()`` means we
+#: are in a fork child that inherited the parent's module state.
+_main_pid = os.getpid()
 
 
 @dataclass(frozen=True)
 class SanitizerEvent:
-    """One detected hazard: what kind, on which thread, with what context."""
+    """One detected hazard: what kind, on which thread/process, with what context."""
 
     seq: int
     kind: str
     thread: str
+    pid: int = 0
     details: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {"seq": self.seq, "kind": self.kind, "thread": self.thread, **self.details}
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "thread": self.thread,
+            "pid": self.pid,
+            **self.details,
+        }
 
 
 _events: list[SanitizerEvent] = []
@@ -45,7 +56,11 @@ def record(kind: str, **details) -> SanitizerEvent:  # hotpath: sanitizer probes
     with _events_lock:
         _seq += 1
         event = SanitizerEvent(
-            seq=_seq, kind=kind, thread=threading.current_thread().name, details=details
+            seq=_seq,
+            kind=kind,
+            thread=threading.current_thread().name,
+            pid=os.getpid(),
+            details=details,
         )
         _events.append(event)
     return event
@@ -66,14 +81,48 @@ def clear_events() -> None:
         _events.clear()
 
 
-def _flush_log() -> None:
+def _in_child_process() -> bool:
+    """Are we a worker process (fork or spawn) rather than the main one?"""
+    if os.getpid() != _main_pid:
+        return True
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def flush_log() -> None:
+    """Write the event log to ``REPRO_SANITIZE_LOG`` as JSON Lines.
+
+    Runs automatically at interpreter exit.  A child process writes to
+    ``<path>.<pid>`` instead — and only when it has events — so a pool of
+    clean workers neither clobbers the parent's log nor sprays empty
+    files.  Parent-side readers glob for ``<path>.*`` to collect the
+    children's hazards.
+    """
     path = os.environ.get(LOG_ENV)
     if not path:
         return
     snapshot = events()
+    if _in_child_process():
+        if not snapshot:
+            return
+        path = f"{path}.{os.getpid()}"
     with open(path, "w", encoding="utf-8") as handle:
         for event in snapshot:
             handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
 
 
-atexit.register(_flush_log)
+def _rearm_after_fork() -> None:
+    """Reset the log in a fork child (the inherited events are the parent's).
+
+    The fresh lock matters as much as the fresh list: a parent thread
+    holding ``_events_lock`` at fork time would leave the child's copy
+    locked forever, deadlocking the first probe that fires there.
+    """
+    global _events, _events_lock, _seq
+    _events_lock = threading.Lock()
+    _events = []
+    _seq = 0
+
+
+atexit.register(flush_log)

@@ -1,0 +1,72 @@
+"""Fork-awareness for the sanitizers: re-arm inherited state in children.
+
+``fork`` copies the whole sanitizer apparatus into the child: the event
+log (the *parent's* events), the lock-order graph (the parent's thread
+interleavings), every ``StateGuard`` counter (odd if the parent was
+mid-write) — and, worst, any internal lock a parent thread happened to
+hold at fork time, which the child can never release.  Each of those is
+either a phantom-report source or a deadlock.
+
+:func:`install` registers an ``os.register_at_fork`` ``after_in_child``
+hook that resets all of it (see the per-module ``_rearm_after_fork``
+functions) and schedules the child's own event-log flush through
+``multiprocessing.util.Finalize`` — multiprocessing children exit via
+``os._exit`` and never run ``atexit`` handlers, so without this the
+child's hazards would vanish with it.  The hook is installed when
+:mod:`repro.sanitizers` is imported and costs nothing until a fork
+actually happens; spawn/forkserver children re-import from scratch and
+need no re-arming.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["install"]
+
+_installed = False
+
+
+def _rearm_in_child() -> None:
+    # Imported per-module (not via the package, whose ``events`` name is
+    # the accessor function, not the submodule).
+    from repro.sanitizers.events import _rearm_after_fork as rearm_events
+    from repro.sanitizers.lockorder import _rearm_after_fork as rearm_lockorder
+    from repro.sanitizers.torncheck import _rearm_after_fork as rearm_torncheck
+
+    rearm_events()
+    rearm_lockorder()
+    rearm_torncheck()
+
+
+class _FlushAnchor:
+    """Keeps the after-fork flush registration alive (weakly keyed)."""
+
+
+_anchor = _FlushAnchor()
+
+
+def _schedule_child_flush(_anchor_obj) -> None:
+    # Runs inside a multiprocessing child *after* ``_bootstrap`` has
+    # cleared the inherited finalizer registry (registering a Finalize
+    # from the ``os.register_at_fork`` hook would be wiped by that
+    # clear).  Multiprocessing children exit via ``os._exit`` without
+    # running ``atexit``, so this Finalize is the only path that gets
+    # the child's events onto disk.
+    from multiprocessing.util import Finalize
+
+    from repro.sanitizers.events import flush_log
+
+    Finalize(None, flush_log, exitpriority=0)
+
+
+def install() -> None:
+    """Register the after-fork re-arm hooks (idempotent, no-op off-POSIX)."""
+    global _installed
+    if _installed or not hasattr(os, "register_at_fork"):
+        return
+    _installed = True
+    os.register_at_fork(after_in_child=_rearm_in_child)
+    from multiprocessing.util import register_after_fork
+
+    register_after_fork(_anchor, _schedule_child_flush)

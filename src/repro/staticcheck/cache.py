@@ -34,8 +34,11 @@ __all__ = ["AnalysisCache", "file_digest"]
 # would be silently missing those findings, so they must not be served);
 # 5 added the perf tier (per-file perf-work counters and the summaries'
 # ``hotpaths`` table — schema-4 summaries lack the ``# hotpath:`` facts
-# the hot-path-gap rule reads, so they must not be served).
-CACHE_SCHEMA = 5
+# the hot-path-gap rule reads, so they must not be served);
+# 6 added the procs tier (per-file procs-work counters and the summaries'
+# ``procs`` table — schema-5 summaries carry no process-boundary facts,
+# so serving them would silence every procs rule on warm runs).
+CACHE_SCHEMA = 6
 
 
 def file_digest(data: bytes) -> str:

@@ -47,6 +47,8 @@ def render_statistics(stats: CheckStats) -> str:
         f"  flow iterations:  {stats.flow_iterations}",
         f"  perf hot funcs:   {stats.perf_hot_functions}",
         f"  perf fixpoints:   {stats.perf_array_fixpoints}",
+        f"  procs boundaries: {stats.procs_boundaries}",
+        f"  procs segments:   {stats.procs_segments}",
     ]
     if stats.findings_per_rule:
         lines.append("  findings by rule:")

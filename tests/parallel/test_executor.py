@@ -1,6 +1,8 @@
 """Tests for the ordered parallel map."""
 
+import multiprocessing
 import os
+import threading
 
 import pytest
 
@@ -10,6 +12,10 @@ from repro.parallel.executor import (
     ensure_picklable,
     parallel_map,
 )
+
+AVAILABLE_START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
 
 
 def square(x):
@@ -55,6 +61,12 @@ class TestProcesses:
         out = parallel_map(square, range(8), config=cfg)
         assert out == [x * x for x in range(8)]
 
+    @pytest.mark.parametrize("method", AVAILABLE_START_METHODS)
+    def test_round_trip_under_each_start_method(self, method):
+        cfg = ExecutorConfig(backend="process", n_workers=2, start_method=method)
+        out = parallel_map(square, range(6), config=cfg)
+        assert out == [x * x for x in range(6)]
+
 
 class TestPicklabilityPreflight:
     def test_lambda_rejected_before_pool_spawn(self):
@@ -76,6 +88,34 @@ class TestPicklabilityPreflight:
 
     def test_module_level_function_passes(self):
         ensure_picklable(square)  # no raise
+
+    def test_closure_error_names_the_offending_cell(self):
+        lock = threading.Lock()
+
+        def guarded(x):
+            with lock:
+                return x
+
+        with pytest.raises(ValueError, match=r"__closure__\['lock'\]"):
+            ensure_picklable(guarded)
+
+    def test_bound_method_error_names_the_instance_attribute(self):
+        class Holder:
+            def __init__(self):
+                self.guard = threading.Lock()
+
+            def work(self, x):
+                return x
+
+        with pytest.raises(ValueError, match=r"__self__\.guard"):
+            ensure_picklable(Holder().work)
+
+    def test_partial_error_names_the_argument(self):
+        import functools
+
+        task = functools.partial(square, threading.Lock())
+        with pytest.raises(ValueError, match=r"\.args\[0\]"):
+            ensure_picklable(task)
 
     def test_thread_backend_accepts_closures(self):
         def local_task(x):
@@ -106,6 +146,14 @@ class TestConfig:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             ExecutorConfig(n_workers=0)
+
+    def test_invalid_start_method(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(backend="process", start_method="teleport")
+
+    def test_start_method_requires_process_backend(self):
+        with pytest.raises(ValueError, match="process"):
+            ExecutorConfig(backend="thread", start_method="spawn")
 
     def test_single_worker_thread_runs_serial_path(self):
         # still correct (and avoids pool overhead)

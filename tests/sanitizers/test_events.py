@@ -3,7 +3,7 @@
 import json
 
 from repro.sanitizers import SanitizerEvent, clear_events, events, record
-from repro.sanitizers.events import _flush_log
+from repro.sanitizers.events import flush_log
 
 
 class TestEventLog:
@@ -36,7 +36,7 @@ class TestEventLog:
         monkeypatch.setenv("REPRO_SANITIZE_LOG", str(log_path))
         record("kind-a", n=1)
         record("kind-b", n=2)
-        _flush_log()
+        flush_log()
         lines = [json.loads(line) for line in log_path.read_text().splitlines()]
         assert [doc["kind"] for doc in lines] == ["kind-a", "kind-b"]
         assert lines[0]["n"] == 1
@@ -44,5 +44,5 @@ class TestEventLog:
     def test_flush_without_target_is_a_no_op(self, monkeypatch, tmp_path):
         monkeypatch.delenv("REPRO_SANITIZE_LOG", raising=False)
         record("kind-a")
-        _flush_log()
+        flush_log()
         assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,134 @@
+"""Fork-awareness tests: pid tagging, child re-arm, and per-pid log flush.
+
+Fork-dependent tests are skipped where the platform offers no ``fork``
+start method; the pid-tagging tests run everywhere.
+"""
+
+import glob
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.sanitizers import (
+    StateGuard,
+    events,
+    lock_graph,
+    new_lock,
+    record,
+    sanitize,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fork_only = pytest.mark.skipif(not HAS_FORK, reason="platform has no fork start method")
+
+
+class TestPidTagging:
+    def test_record_stamps_current_pid(self):
+        event = record("probe", detail="x")
+        assert event.pid == os.getpid()
+
+    def test_to_dict_includes_pid(self):
+        event = record("probe")
+        assert event.to_dict()["pid"] == os.getpid()
+
+
+def _child_reports_inherited_state(queue):
+    # Runs in a fork child: the after-fork hooks must have wiped the
+    # parent's events and order graph and re-armed every StateGuard.
+    queue.put(
+        {
+            "events": len(events()),
+            "graph": lock_graph(),
+            "guard_versions": [g._version for g in _CHILD_PROBE_GUARDS],
+        }
+    )
+
+
+_CHILD_PROBE_GUARDS: list = []
+
+
+@fork_only
+class TestChildRearm:
+    def test_child_starts_with_clean_sanitizer_state(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        guard = StateGuard("forkaware-test-guard")
+        _CHILD_PROBE_GUARDS.clear()
+        _CHILD_PROBE_GUARDS.append(guard)
+        try:
+            with sanitize():
+                record("parent-only-hazard")
+                outer = new_lock("forkaware.outer")
+                inner = new_lock("forkaware.inner")
+                with outer:
+                    with inner:
+                        pass
+                assert lock_graph()  # parent really has edges
+                ctx = multiprocessing.get_context("fork")
+                queue = ctx.Queue()
+                # Fork mid-write: the parent's version is odd right now,
+                # which would look like an eternal in-progress write to
+                # the child unless the guard is re-armed.
+                with guard.writing():
+                    child = ctx.Process(
+                        target=_child_reports_inherited_state, args=(queue,)
+                    )
+                    child.start()
+                    seen = queue.get(timeout=30)
+                    child.join(timeout=30)
+            assert child.exitcode == 0
+            assert seen["events"] == 0
+            assert seen["graph"] == {}
+            assert seen["guard_versions"] == [0]
+            # ...while the parent keeps its own state untouched.
+            assert [e.kind for e in events()] == ["parent-only-hazard"]
+            assert guard._version % 2 == 0 and guard._version > 0
+        finally:
+            _CHILD_PROBE_GUARDS.clear()
+
+
+def _child_records_hazard():
+    record("child-hazard", where="worker")
+
+
+@fork_only
+class TestChildFlush:
+    def test_child_flushes_to_per_pid_log(self, monkeypatch, tmp_path):
+        log = tmp_path / "sanitize.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setenv("REPRO_SANITIZE_LOG", str(log))
+        ctx = multiprocessing.get_context("fork")
+        record("parent-event")
+        child = ctx.Process(target=_child_records_hazard)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+        side_logs = glob.glob(f"{log}.*")
+        assert side_logs == [f"{log}.{child.pid}"]
+        lines = [
+            json.loads(line)
+            for line in open(side_logs[0], encoding="utf-8").read().splitlines()
+        ]
+        assert [(row["kind"], row["pid"]) for row in lines] == [
+            ("child-hazard", child.pid)
+        ]
+        # The child must not have clobbered the parent's log path, and the
+        # parent's in-memory events must not have leaked into the child's.
+        assert not log.exists()
+        assert [e.kind for e in events()] == ["parent-event"]
+
+    def test_clean_child_writes_no_log(self, monkeypatch, tmp_path):
+        log = tmp_path / "sanitize.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE_LOG", str(log))
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_noop)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+        assert glob.glob(f"{log}.*") == []
+
+
+def _noop():
+    pass

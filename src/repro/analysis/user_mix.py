@@ -43,10 +43,8 @@ def top_users_by_jobs(db: Database, k: int = 10) -> list[dict]:
     """Busiest users via the SQL GROUP BY path: [{user_name, count}, ...]."""
     if k < 1:
         raise ValueError("k must be >= 1")
-    rows = db.execute(
-        "SELECT user_name, COUNT(*) FROM jobs GROUP BY user_name"
-    ).rows()
-    rows.sort(key=lambda r: (-r["count"], r["user_name"]))
+    result = db.execute("SELECT user_name, COUNT(*) FROM jobs GROUP BY user_name")
+    rows = sorted(result.iter_rows(), key=lambda r: (-r["count"], r["user_name"]))
     return rows[:k]
 
 

@@ -9,10 +9,12 @@ against Fugaku's database.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.fugaku.trace import JobTrace, NUMERIC_COLUMNS, STRING_COLUMNS
-from repro.storage.engine import Database
+from repro.storage.engine import SCAN_BATCH_ROWS, Database, ResultSet
 
 __all__ = ["JOBS_TABLE_SQL", "load_trace_into_db", "DataFetcher"]
 
@@ -99,6 +101,36 @@ class DataFetcher:
             "WHERE submit_time >= ? AND submit_time < ? ORDER BY submit_time"
         )
         return self.db.execute(sql, [float(start_time), float(end_time)]).rows()
+
+    def fetch_batches(
+        self,
+        start_time: float,
+        end_time: float,
+        *,
+        batch_rows: int = SCAN_BATCH_ROWS,
+    ) -> Iterator[ResultSet]:
+        # streaming: chunked columnar fetch, one ~batch_rows ResultSet per yield
+        # scale: -> batch
+        """Fetch a submit-time window as bounded columnar batches.
+
+        The streaming counterpart of windowed :meth:`fetch`: the same
+        rows (``start_time <= submit_time < end_time``), yielded as
+        ``batch_rows``-sized :class:`ResultSet` objects straight off the
+        column store, so a month-scale window is never materialized as
+        row dicts.  Requires the in-process column-store
+        :class:`Database`; when the table was loaded submit-sorted (the
+        :func:`load_trace_into_db` path), batches arrive in submit-time
+        order via the binary-search window fast path.
+        """
+        if end_time < start_time:
+            raise ValueError("end_time must be >= start_time")
+        table = self.db.table(self.table)
+        yield from table.scan_batches(
+            "submit_time",
+            float(start_time),
+            float(end_time),
+            batch_rows=batch_rows,
+        )
 
     def fetch_count(self, start_time: float, end_time: float) -> int:
         """Number of jobs in a window (cheap existence probe)."""

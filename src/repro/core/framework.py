@@ -21,7 +21,7 @@ from repro.core.registry import ModelStore
 from repro.mlcore.base import NotFittedError
 from repro.nlp.embedder import SentenceEmbedder
 from repro.sanitizers import StateGuard, check_finite, new_lock
-from repro.storage.engine import Database
+from repro.storage.engine import SCAN_BATCH_ROWS, Database
 
 __all__ = ["MCBound"]
 
@@ -82,6 +82,30 @@ class MCBound:
         """
         records = self.fetcher.fetch(start_time=start_time, end_time=end_time)
         return self._characterize_records(records)
+
+    def characterize_window_batches(
+        self, start_time: float, end_time: float, *, batch_rows: int = SCAN_BATCH_ROWS
+    ):
+        # streaming: one (job_ids, labels) pair per fetched batch
+        # scale: -> batch
+        """Label a window one bounded columnar batch at a time.
+
+        The streaming counterpart of :meth:`characterize_window`: the
+        same jobs get the same labels, but each batch is fetched and
+        characterized straight off the column store — no row dicts — so
+        labelling a month-scale window peaks at O(``batch_rows``)
+        memory.  Labels land in :attr:`label_cache` batch by batch
+        (recomputing a cached job is cheaper vectorized than checking).
+        """
+        for batch in self.fetcher.fetch_batches(
+            start_time, end_time, batch_rows=batch_rows
+        ):
+            job_ids = batch.column("job_id").astype(np.int64, copy=False)
+            labels = self.characterizer.labels_from_result(batch)
+            updates = dict(zip(job_ids.tolist(), (int(v) for v in labels)))
+            with self._state_lock, self._state_guard.writing():
+                self.label_cache.update(updates)
+            yield job_ids, labels
 
     def _characterize_records(self, records: list[dict]):
         job_ids = np.array([r["job_id"] for r in records], dtype=np.int64)

@@ -109,6 +109,24 @@ class JobCharacterizer:
         )
         return self.generate_labels(flops, duration, nodes, moved)
 
+    def labels_from_result(self, result) -> np.ndarray:
+        """Vectorized labels straight off a columnar fetch batch.
+
+        ``result`` is anything exposing ``column(name) -> ndarray`` (a
+        storage :class:`~repro.storage.engine.ResultSet`); labels are
+        computed from the column arrays directly, so — unlike
+        :meth:`labels_from_records` — no per-row dicts ever exist.
+        """
+        flops, moved = self.counter_transform(
+            result.column("perf2"),
+            result.column("perf3"),
+            result.column("perf4"),
+            result.column("perf5"),
+        )
+        return self.generate_labels(
+            flops, result.column("duration"), result.column("nodes_alloc"), moved
+        )
+
     def labels_from_trace(self, trace: JobTrace) -> np.ndarray:
         """Vectorized labels for a whole trace."""
         flops, moved = self.counter_transform(

@@ -1,11 +1,12 @@
-"""Wall-clock measurement helpers."""
+"""Wall-clock and peak-memory measurement helpers."""
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from typing import Callable
 
-__all__ = ["Timer", "time_call"]
+__all__ = ["Timer", "time_call", "peak_memory_bytes"]
 
 
 class Timer:
@@ -34,3 +35,21 @@ def time_call(fn: Callable, *args, **kwargs):
     t0 = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - t0
+
+
+def peak_memory_bytes(fn: Callable, *args, **kwargs):
+    """Call ``fn`` and return ``(result, peak_additional_bytes)``.
+
+    Peak is tracemalloc's high-water mark of python allocations made
+    during the call — the number the capacity tier reasons about: for a
+    streaming pipeline it must be bounded by the batch size, independent
+    of how many rows flow through.  Tracing slows the call down, so use
+    this for assertions about memory, never for throughput numbers.
+    """
+    tracemalloc.start()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

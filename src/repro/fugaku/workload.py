@@ -32,6 +32,7 @@ would on the real system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -355,8 +356,51 @@ class WorkloadGenerator:
             "app": np.full(count, tpl.app.name, dtype=object),
         }
 
-    def generate(self) -> JobTrace:
-        """Generate the full trace, sorted by submission time."""
+    def _day_parts(
+        self,
+        day: int,
+        n_day: int,
+        rng: np.random.Generator,
+        births: np.ndarray,
+        deaths: np.ndarray,
+        weights: np.ndarray,
+        daily_probs: np.ndarray,
+    ) -> list[dict]:
+        """One day's template draws as per-template column batches."""
+        alive = (births <= day) & (day < deaths)
+        bursty = rng.random(len(self.templates)) < daily_probs
+        active = np.flatnonzero(alive & bursty)
+        if active.size == 0:
+            active = np.flatnonzero(alive)
+        if active.size == 0:
+            # pathological tiny configs: fall back to all templates
+            active = np.arange(len(self.templates))
+        # Heavy-tailed per-day bursts: Fugaku jobs arrive in batches of
+        # identical jobs, and on any given day one template can grab a
+        # large share of the volume.  This burstiness is what makes
+        # "latest θ" subsampling collapse onto few distinct jobs
+        # (Figs. 9-10: random sampling beats latest).
+        w = weights[active] * rng.lognormal(0.0, 1.0, size=active.size)
+        counts = rng.multinomial(n_day, w / w.sum())
+        parts = []
+        for k in np.flatnonzero(counts):
+            tpl = self.templates[int(active[k])]
+            parts.append(self._batch_jobs(tpl, day, int(counts[k]), rng))
+        return parts
+
+    def generate_stream(self) -> Iterator[JobTrace]:
+        # streaming: one submit-sorted day of jobs per yield
+        # scale: -> batch
+        """Yield the trace one submit-sorted day-batch at a time.
+
+        Concatenating every yielded batch reproduces :meth:`generate`
+        bit for bit: the RNG call sequence is shared, submit times never
+        cross a day boundary (each day's are clamped below the next day's
+        start), so per-day stable sorting plus sequential job ids equals
+        one global stable sort.  Peak memory is one day of jobs, never
+        the month — the only way to produce an F-DATA-scale trace
+        without holding 2.2 M jobs at once.  Empty days yield nothing.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed + 2)
         daily = self.daily_job_counts()
@@ -366,37 +410,40 @@ class WorkloadGenerator:
         weights = np.array([t.weight for t in self.templates])
         daily_probs = np.array([t.daily_prob for t in self.templates])
 
-        parts: list[dict] = []
+        next_id = 1
         for day in range(cfg.n_days):
             n_day = int(daily[day])
             if n_day == 0:
                 continue
-            alive = (births <= day) & (day < deaths)
-            bursty = rng.random(len(self.templates)) < daily_probs
-            active = np.flatnonzero(alive & bursty)
-            if active.size == 0:
-                active = np.flatnonzero(alive)
-            if active.size == 0:
-                # pathological tiny configs: fall back to all templates
-                active = np.arange(len(self.templates))
-            # Heavy-tailed per-day bursts: Fugaku jobs arrive in batches of
-            # identical jobs, and on any given day one template can grab a
-            # large share of the volume.  This burstiness is what makes
-            # "latest θ" subsampling collapse onto few distinct jobs
-            # (Figs. 9-10: random sampling beats latest).
-            w = weights[active] * rng.lognormal(0.0, 1.0, size=active.size)
-            counts = rng.multinomial(n_day, w / w.sum())
-            for k in np.flatnonzero(counts):
-                tpl = self.templates[int(active[k])]
-                parts.append(self._batch_jobs(tpl, day, int(counts[k]), rng))
+            parts = self._day_parts(
+                day, n_day, rng, births, deaths, weights, daily_probs
+            )
+            cols: dict[str, np.ndarray] = {}
+            for key in parts[0]:
+                cols[key] = np.concatenate([p[key] for p in parts])
+            order = np.argsort(cols["submit_time"], kind="stable")
+            cols = {k: v[order] for k, v in cols.items()}
+            cols["job_id"] = np.arange(
+                next_id, next_id + len(order), dtype=np.int64
+            )
+            next_id += len(order)
+            yield JobTrace(cols)
 
-        cols: dict[str, np.ndarray] = {}
-        for key in parts[0]:
-            cols[key] = np.concatenate([p[key] for p in parts])
-        order = np.argsort(cols["submit_time"], kind="stable")
-        cols = {k: v[order] for k, v in cols.items()}
-        cols["job_id"] = np.arange(1, len(order) + 1, dtype=np.int64)
-        return JobTrace(cols)
+    def generate(self) -> JobTrace:
+        # scale: -> jobs
+        """Generate the full trace, sorted by submission time.
+
+        The materializing boundary over :meth:`generate_stream`; use the
+        stream directly when the trace only needs to be seen one day at
+        a time.
+        """
+        batches = list(self.generate_stream())
+        return JobTrace(
+            {
+                key: np.concatenate([b[key] for b in batches])
+                for key in batches[0].column_names
+            }
+        )
 
 
 def generate_trace(

@@ -37,8 +37,12 @@ __all__ = ["AnalysisCache", "file_digest"]
 # the hot-path-gap rule reads, so they must not be served);
 # 6 added the procs tier (per-file procs-work counters and the summaries'
 # ``procs`` table — schema-5 summaries carry no process-boundary facts,
-# so serving them would silence every procs rule on warm runs).
-CACHE_SCHEMA = 6
+# so serving them would silence every procs rule on warm runs);
+# 7 added the capacity tier (per-file capacity-work counters, cached
+# capacity findings, and the summaries' ``capacity`` table — schema-6
+# entries lack the streaming/return-scale/materializer facts the
+# streaming-contract rule reads, so they must not be served).
+CACHE_SCHEMA = 7
 
 
 def file_digest(data: bytes) -> str:

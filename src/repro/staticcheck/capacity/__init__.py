@@ -1,0 +1,48 @@
+"""Memory-capacity tier: streaming discipline over jobs-scale data.
+
+The paper's F-DATA trace is 2.2 M jobs; ROADMAP item 2 scales
+``repro.storage`` and ``repro.fugaku.workload`` to hold a month of it.
+Every earlier tier checks *what* the code computes — this package checks
+*how much of it is alive at once*.  Three layers:
+
+* :mod:`repro.staticcheck.capacity.scales` — the cardinality lattice
+  (``bounded`` < ``batch`` < ``jobs``) and the ``# scale:`` /
+  ``# streaming:`` annotation parsers.  ``# scale: jobs`` on an
+  assignment seeds a value as jobs-cardinality (a storage table column,
+  a :class:`~repro.fugaku.trace.JobTrace` array, a generator output);
+  ``# scale: rows=jobs -> jobs`` in a ``def`` header window seeds
+  parameters and declares the per-use scale of the return (each yield,
+  for generators).  ``# streaming: <reason>`` declares a function part
+  of a streaming path: it must never materialize jobs-scale data.
+* :mod:`repro.staticcheck.capacity.dataflow` — a forward fixpoint per
+  function CFG (the PR 5 worklist engine) propagating scales through
+  assignments, numpy ops and same-file annotated calls, feeding the four
+  file-local rules: ``full-materialization``, ``unbounded-accumulation``,
+  ``scale-amplification`` and ``rowwise-loop``.  Unknown never fires.
+* :mod:`repro.staticcheck.capacity.facts` + ``contract.py`` — per-module
+  streaming/return-scale/materializer facts on
+  :class:`~repro.staticcheck.project.summary.ModuleSummary` (cache-served),
+  consumed by the cross-module ``streaming-contract`` project rule via
+  the PR 4 call facts.
+
+Work counters: :data:`COUNTERS` accumulates analysis effort for the
+CLI's ``--statistics`` (snapshot-and-diff around each file analysis,
+mirroring :data:`repro.staticcheck.flow.COUNTERS`,
+:data:`repro.staticcheck.perf.COUNTERS` and
+:data:`repro.staticcheck.procs.COUNTERS`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTERS", "snapshot_counters"]
+
+#: Process-wide effort counters, surfaced by ``--statistics``:
+#: ``scale_fixpoints`` counts per-CFG cardinality fixpoints,
+#: ``streaming_functions`` counts ``# streaming:``-annotated defs seen
+#: during fact extraction.
+COUNTERS = {"scale_fixpoints": 0, "streaming_functions": 0}
+
+
+def snapshot_counters() -> dict:
+    """Copy of the current counter values (diff against a later snapshot)."""
+    return dict(COUNTERS)

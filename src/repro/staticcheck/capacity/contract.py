@@ -1,0 +1,101 @@
+"""The cross-module ``streaming-contract`` project rule.
+
+The per-file capacity rules can hold one function to the streaming
+discipline; what they cannot see is a ``# streaming:`` path draining
+into a materializing callee in *another* module (the Data Fetcher's
+chunked scan calling a storage method that builds the full row list).
+This rule closes that hole from the project tier, the same way
+``hot-path-gap`` does for the perf tier: it reads the cache-served
+capacity facts off every :class:`ModuleSummary` and walks the PR 4
+call facts from each streaming function.
+
+Two violation shapes:
+
+* the streaming function itself ``return``s a materialized collection
+  (streaming paths yield chunks; they never hand back a whole
+  collection), or
+* it calls — possibly across modules — a callee whose own file declares
+  a jobs-scale return (``# scale: -> jobs``) *and* whose body returns a
+  materialized collection, and which is not itself part of the
+  streaming tier.  ``ResultSet.rows()`` is the canonical example: a
+  storage-boundary API that is fine at the boundary and a full-trace
+  allocation inside a streaming scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.perf.hotpath import _AMBIENT_METHODS
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["StreamingContractRule"]
+
+
+@register_project
+class StreamingContractRule(ProjectRule):
+    id = "streaming-contract"
+    description = (
+        "a # streaming: function returns a materialized collection or "
+        "calls a callee (cross-module) that materializes a jobs-scale "
+        "result"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        # Deferred: importing project.concurrency at module scope would
+        # cycle through repro.staticcheck.project.__init__.
+        from repro.staticcheck.project.concurrency import _model_for
+
+        model = _model_for(project)
+
+        streaming: dict = {}
+        materializes: dict = {}
+        returns: dict = {}
+        for module in sorted(project.summaries):
+            capacity = getattr(project.summaries[module], "capacity", {}) or {}
+            for qual, reason in capacity.get("streaming", {}).items():
+                streaming[f"{module}.{qual}"] = (module, qual, reason)
+            for qual, line in capacity.get("materializes", {}).items():
+                materializes[f"{module}.{qual}"] = line
+            for qual, scale in capacity.get("returns", {}).items():
+                returns[f"{module}.{qual}"] = scale
+
+        for full in sorted(streaming):
+            module, qual, reason = streaming[full]
+            summary = project.summaries[module]
+            if full in materializes:
+                yield self.finding(
+                    summary.path,
+                    materializes[full],
+                    f"'{qual}' is declared # streaming: ({reason}) but "
+                    "returns a materialized collection; a streaming path "
+                    "yields bounded chunks",
+                )
+                continue
+            # Deterministic min-line witness per offending callee.
+            gaps: dict = {}
+            for callee, line, _held, local_receiver in model.funcs.get(full, {}).get(
+                "calls", []
+            ):
+                if local_receiver and callee.rsplit(".", 1)[-1] in _AMBIENT_METHODS:
+                    continue
+                target = model.resolve_callee(callee, full, local_receiver)
+                if target is None or target == full or target in streaming:
+                    continue
+                if target in materializes and returns.get(target) == "jobs":
+                    if target not in gaps or line < gaps[target]:
+                        gaps[target] = line
+            for target in sorted(gaps):
+                target_module, _cls = model.homes.get(target, ("", ""))
+                target_qual = (
+                    target[len(target_module) + 1 :] if target_module else target
+                )
+                yield self.finding(
+                    summary.path,
+                    gaps[target],
+                    f"'{qual}' is declared # streaming: but calls "
+                    f"'{target_qual}' ({model.paths.get(target, '?')}), which "
+                    "materializes a jobs-scale result; route this path "
+                    "through a chunked scan instead",
+                )

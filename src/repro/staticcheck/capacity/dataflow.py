@@ -1,0 +1,642 @@
+"""Cardinality abstract interpretation over the per-function CFGs.
+
+Four rules share one forward fixpoint per function (the PR 5 worklist
+engine), mapping local names to lattice points from
+:mod:`repro.staticcheck.capacity.scales` (absent = unknown, and unknown
+never fires — the tier is silent on code it cannot follow):
+
+* ``full-materialization`` — inside a ``# streaming:``-annotated
+  function, a ``list()``/``sorted()``/``np.stack``-style call or a
+  comprehension materializes a jobs-scale value: the exact failure mode
+  a streaming path exists to avoid, and at F-DATA scale (2.2 M jobs) an
+  allocation proportional to the whole trace.
+* ``unbounded-accumulation`` — a ``for`` loop appends/extends
+  batch- or jobs-scale chunks onto an accumulator with no ``break``:
+  memory grows with the trace length, not the chunk size.
+* ``scale-amplification`` — per-row dict conversion (the classic
+  rows-as-dicts ORM shape), ``.tolist()``, or chained copies over a
+  jobs-scale array: each one multiplies the footprint of data that is
+  already the biggest thing in the process.
+* ``rowwise-loop`` — Python-level per-row iteration over a jobs-scale
+  column (``for x in col`` / ``range(len(col))``); a stepped
+  ``range(0, n, chunk)`` is the chunking idiom and exempt.
+
+Scales enter from ``# scale:`` line/def annotations and propagate
+through assignments, numpy ops, slices/column subscripts and same-file
+annotated calls (for a generator, the declared ``->`` scale is what a
+``for`` loop binds per yield).  All facts are file-local, so the rules
+are sound under the incremental cache; cross-module enforcement is the
+``streaming-contract`` project rule in
+:mod:`repro.staticcheck.capacity.contract`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.capacity import COUNTERS
+from repro.staticcheck.capacity.scales import (
+    max_scale,
+    parse_def_scale_spec,
+    parse_scale_spec,
+)
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.flow import cfgs_for
+from repro.staticcheck.flow.cfg import ExceptBind, ForBind, Test, WithEnter, WithExit
+from repro.staticcheck.flow.fixpoint import ForwardAnalysis, run_forward
+from repro.staticcheck.perf.arrays import tagged_comments
+from repro.staticcheck.registry import Rule, register
+
+__all__ = [
+    "FullMaterializationRule",
+    "UnboundedAccumulationRule",
+    "ScaleAmplificationRule",
+    "RowwiseLoopRule",
+    "iter_defs",
+    "def_window_annotation",
+    "module_capacity_findings",
+]
+
+#: Builtins that materialize their (iterable) argument into a new
+#: collection of the same cardinality.
+_BARE_MATERIALIZERS = frozenset({"list", "tuple", "sorted"})
+
+#: numpy calls that allocate a new array holding every element passed in.
+_NUMPY_MATERIALIZERS = frozenset(
+    {"numpy.stack", "numpy.vstack", "numpy.hstack", "numpy.concatenate", "numpy.array"}
+)
+
+#: Calls that preserve the cardinality of their array argument(s).
+_PRESERVING_CALLS = frozenset(
+    {
+        "numpy.asarray", "numpy.ascontiguousarray", "numpy.sort", "numpy.argsort",
+        "numpy.copy", "numpy.cumsum", "numpy.flatnonzero", "numpy.abs",
+        "numpy.sqrt", "numpy.exp", "numpy.log", "numpy.clip",
+        "numpy.minimum", "numpy.maximum", "numpy.where",
+    }
+)
+
+#: Calls whose result is O(1) whatever goes in.
+_REDUCING_CALLS = frozenset(
+    {
+        "numpy.sum", "numpy.mean", "numpy.median", "numpy.min", "numpy.max",
+        "numpy.std", "numpy.var", "numpy.count_nonzero", "numpy.searchsorted",
+        "numpy.all", "numpy.any", "numpy.ptp",
+    }
+)
+
+_BARE_REDUCERS = frozenset({"len", "sum", "min", "max", "float", "int", "bool", "str", "any", "all", "next"})
+
+#: Methods transparent to cardinality.
+_PRESERVE_METHODS = frozenset({"copy", "astype", "ravel", "flatten", "reshape", "view", "tolist"})
+
+#: Methods whose result is O(1).
+_REDUCE_METHODS = frozenset({"sum", "mean", "min", "max", "std", "var", "item", "any", "all", "argmin", "argmax"})
+
+#: Copy-producing calls for the chained-copies amplification check.
+_COPY_METHODS = frozenset({"copy", "astype"})
+_COPY_FUNCS = frozenset({"numpy.array", "numpy.sort", "numpy.copy"})
+
+
+def iter_defs(tree: ast.Module):
+    """Yield ``(qualname, def node)`` for every function, depth-first."""
+    stack = [("", node) for node in reversed(tree.body)]
+    while stack:
+        prefix, node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{node.name}"
+            yield qual, node
+            for child in reversed(node.body):
+                stack.append((f"{qual}.", child))
+        elif isinstance(node, ast.ClassDef):
+            for child in reversed(node.body):
+                stack.append((f"{prefix}{node.name}.", child))
+
+
+def def_window_annotation(node, lines: dict):
+    """Annotation text in the def header window, or ``None``.
+
+    Same window as ``# hotpath:``/``# unit:``: first decorator line
+    through the line before the first body statement (or the ``def``
+    line itself).
+    """
+    start = min([node.lineno] + [d.lineno for d in node.decorator_list])
+    for line in range(start, node.body[0].lineno + 1):
+        if line in lines and (line < node.body[0].lineno or line == node.lineno):
+            return lines[line]
+    return None
+
+
+def _line_annotation(stmt, lines: dict):
+    end = getattr(stmt, "end_lineno", None) or stmt.lineno
+    for line in range(stmt.lineno, end + 1):
+        if line in lines:
+            return lines[line]
+    return None
+
+
+class _Env:
+    """File-local scale seeds for one module."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.scale_lines = tagged_comments(module.source, "scale")
+        self.streaming_lines = tagged_comments(module.source, "streaming")
+        # Return scales of same-file annotated defs, keyed by basename;
+        # ambiguous basenames are dropped (may-analysis must not guess).
+        self.toplevel_defs: set = set()
+        returns: dict = {}
+        ambiguous: set = set()
+        for qual, node in iter_defs(module.tree):
+            if "." not in qual:
+                self.toplevel_defs.add(qual)
+            raw = def_window_annotation(node, self.scale_lines)
+            if raw is None:
+                continue
+            _params, ret = parse_def_scale_spec(raw)
+            if ret is None:
+                continue
+            base = qual.rsplit(".", 1)[-1]
+            if base in returns and returns[base] != ret:
+                ambiguous.add(base)
+            returns[base] = ret
+        self.local_returns = {b: s for b, s in returns.items() if b not in ambiguous}
+
+
+class _ScaleAnalysis(ForwardAnalysis):
+    """Forward analysis: local name -> scale (absent = unknown)."""
+
+    def __init__(self, env: _Env, params: dict) -> None:
+        self.env = env
+        self.params = params
+
+    def initial(self):
+        return dict(self.params)
+
+    def join(self, a, b):
+        # May-join: union of bindings, per-name lattice max.  A value
+        # that is jobs-scale on any path must be treated as jobs-scale.
+        out = dict(a)
+        for name, scale in b.items():
+            out[name] = max_scale(out.get(name), scale)
+        return out
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval(self, expr, state):
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value, state)
+            if base is None:
+                return None
+            if isinstance(expr.slice, ast.Slice):
+                return base  # a window view may still span the table
+            if isinstance(expr.slice, ast.Constant) and isinstance(expr.slice.value, str):
+                return base  # column access on a jobs-scale store
+            return None  # single-element / fancy indexing: unknown
+        if isinstance(expr, ast.BinOp):
+            return max_scale(self.eval(expr.left, state), self.eval(expr.right, state))
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand, state)
+        if isinstance(expr, ast.Compare):
+            return max_scale(
+                self.eval(expr.left, state),
+                *[self.eval(c, state) for c in expr.comparators],
+            )
+        if isinstance(expr, ast.BoolOp):
+            return max_scale(*[self.eval(v, state) for v in expr.values])
+        if isinstance(expr, ast.IfExp):
+            return max_scale(self.eval(expr.body, state), self.eval(expr.orelse, state))
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            starred = [
+                self.eval(e, state) for e in expr.elts if isinstance(e, ast.Starred)
+            ]
+            return max_scale("bounded", *starred)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return max_scale(*[self.eval(g.iter, state) for g in expr.generators])
+        if isinstance(expr, ast.Call):
+            return self._call(expr, state)
+        if isinstance(expr, ast.Constant):
+            return "bounded"
+        return None
+
+    def _args_scale(self, node: ast.Call, state):
+        """Join over arguments, with literal list/tuple args expanded
+        (``np.concatenate([acc, part])`` sees acc and part)."""
+        scales = []
+        for arg in node.args:
+            if isinstance(arg, (ast.List, ast.Tuple)):
+                scales.extend(self.eval(e, state) for e in arg.elts)
+            else:
+                scales.append(self.eval(arg, state))
+        return max_scale(*scales)
+
+    def _call(self, node: ast.Call, state):
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in _BARE_REDUCERS:
+                return "bounded"
+            if name in _BARE_MATERIALIZERS or name == "iter":
+                return self._args_scale(node, state)
+            if name == "range":
+                return None
+            if name in self.env.toplevel_defs and name in self.env.local_returns:
+                return self.env.local_returns[name]
+            return None
+        dotted = self.env.module.dotted_name(func)
+        if dotted is not None:
+            if dotted in _REDUCING_CALLS:
+                return "bounded"
+            if dotted in _PRESERVING_CALLS or dotted in _NUMPY_MATERIALIZERS:
+                return self._args_scale(node, state)
+            if dotted == "itertools.islice" and len(node.args) >= 2:
+                return "bounded"  # capped by the stop argument
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _REDUCE_METHODS:
+                return "bounded"
+            receiver = self.eval(func.value, state)
+            if attr in _PRESERVE_METHODS:
+                return receiver
+            # same-file annotated method: self.m(...) or a module-unique
+            # basename that is not an import alias (np.sort never matches)
+            if attr in self.env.local_returns and attr not in self.env.module.imports:
+                return self.env.local_returns[attr]
+        return None
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, element, state):
+        if isinstance(element, (Test, WithExit, ast.Return, ast.Expr, ast.Raise)):
+            return state
+        if isinstance(element, ForBind):
+            target = element.node.target
+            if isinstance(target, ast.Name):
+                out = dict(state)
+                self._bind(out, target.id, self._loop_var_scale(element.node.iter, state))
+                return out
+            return self._clear_targets(target, state)
+        if isinstance(element, WithEnter):
+            if element.item.optional_vars is not None:
+                return self._clear_targets(element.item.optional_vars, state)
+            return state
+        if isinstance(element, ExceptBind):
+            name = element.handler.name
+            if name and name in state:
+                out = dict(state)
+                out.pop(name)
+                return out
+            return state
+        if isinstance(element, ast.Assign):
+            return self._assign(element, element.targets, element.value, state)
+        if isinstance(element, ast.AnnAssign):
+            if element.value is None:
+                return state
+            return self._assign(element, [element.target], element.value, state)
+        if isinstance(element, ast.AugAssign):
+            return state  # in-place ops keep the target's scale
+        return state
+
+    def _loop_var_scale(self, iter_expr, state):
+        scale = self.eval(iter_expr, state)
+        if scale is None:
+            return None
+        if isinstance(iter_expr, ast.Call):
+            # Direct generator/function call: the declared -> scale is
+            # per use, i.e. what the loop binds each iteration.
+            return scale
+        return "bounded"  # one element of a known collection is one row
+
+    def _assign(self, stmt, targets, value_expr, state):
+        scale = self.eval(value_expr, state)
+        raw = _line_annotation(stmt, self.env.scale_lines)
+        if raw is not None:
+            declared = parse_scale_spec(raw)
+            if declared is not None:
+                scale = declared
+        out = dict(state)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._bind(out, target.id, scale)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                out = self._clear_targets(target, out)
+        return out
+
+    @staticmethod
+    def _bind(state, name, scale) -> None:
+        if scale is None:
+            state.pop(name, None)
+        else:
+            state[name] = scale
+
+    def _clear_targets(self, target, state):
+        names = [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
+        if not any(name in state for name in names):
+            return state
+        out = dict(state)
+        for name in names:
+            out.pop(name, None)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# per-statement rule checks
+
+
+def _is_copy_call(node: ast.expr, module) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _COPY_METHODS:
+        return True
+    return module.dotted_name(node.func) in _COPY_FUNCS
+
+
+class _LoopBodyScan(ast.NodeVisitor):
+    """Appends/breaks in one loop body, nested loops and defs excluded
+    (they are judged by their own ForBind / their own CFG)."""
+
+    def __init__(self) -> None:
+        self.appends: list = []
+        self.has_break = False
+
+    def visit_For(self, node) -> None:
+        pass
+
+    visit_AsyncFor = visit_For
+    visit_While = visit_For
+
+    def visit_FunctionDef(self, node) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Break(self, node) -> None:
+        self.has_break = True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("append", "extend")
+            and len(node.args) == 1
+        ):
+            self.appends.append(node)
+        self.generic_visit(node)
+
+
+def _check_call(analysis, node: ast.Call, state, streaming, report) -> None:
+    func = node.func
+    module = analysis.env.module
+    dotted = module.dotted_name(func)
+    is_materializer = (
+        isinstance(func, ast.Name) and func.id in _BARE_MATERIALIZERS
+    ) or dotted in _NUMPY_MATERIALIZERS
+    if is_materializer and streaming is not None:
+        if analysis._args_scale(node, state) == "jobs":
+            name = func.id if isinstance(func, ast.Name) else dotted
+            report(
+                "full-materialization",
+                node,
+                f"{name}() materializes a jobs-scale value inside a "
+                f"# streaming: function ({streaming}); at F-DATA scale this "
+                "allocates the whole trace — yield bounded chunks instead",
+            )
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "tolist"
+        and analysis.eval(func.value, state) == "jobs"
+    ):
+        report(
+            "scale-amplification",
+            node,
+            ".tolist() converts a jobs-scale array into per-row python "
+            "objects (~10x the footprint); keep it columnar or chunk first",
+        )
+    if _is_copy_call(node, module):
+        inner = (
+            func.value
+            if isinstance(func, ast.Attribute)
+            else (node.args[0] if node.args else None)
+        )
+        if (
+            inner is not None
+            and _is_copy_call(inner, module)
+            and analysis.eval(inner, state) == "jobs"
+        ):
+            report(
+                "scale-amplification",
+                node,
+                "chained copies of a jobs-scale array hold two full-trace "
+                "buffers alive at once; fuse into a single copy",
+            )
+
+
+def _check_comprehension(analysis, node, state, streaming, report) -> None:
+    iter_scale = analysis.eval(node.generators[0].iter, state)
+    if iter_scale != "jobs":
+        return
+    row_dict = isinstance(node, ast.DictComp) or (
+        isinstance(node, ast.ListComp)
+        and (
+            isinstance(node.elt, ast.Dict)
+            or (
+                isinstance(node.elt, ast.Call)
+                and isinstance(node.elt.func, ast.Name)
+                and node.elt.func.id == "dict"
+            )
+        )
+    )
+    if row_dict:
+        report(
+            "scale-amplification",
+            node,
+            "builds a python dict per row over a jobs-scale value: "
+            "rows-as-dicts costs ~10x the columnar footprint; keep columns "
+            "or use a chunked scan",
+        )
+        return
+    if streaming is not None and isinstance(node, (ast.ListComp, ast.SetComp)):
+        report(
+            "full-materialization",
+            node,
+            f"comprehension materializes a jobs-scale value inside a "
+            f"# streaming: function ({streaming}); yield bounded chunks "
+            "instead",
+        )
+
+
+def _scan_expr(analysis, root, state, streaming, report) -> None:
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            _check_call(analysis, node, state, streaming, report)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            _check_comprehension(analysis, node, state, streaming, report)
+
+
+def _check_for_loop(analysis, element: ForBind, state, report) -> None:
+    loop = element.node
+    iter_expr = loop.iter
+    iter_scale = analysis.eval(iter_expr, state)
+    rowwise = iter_scale == "jobs"
+    if (
+        not rowwise
+        and isinstance(iter_expr, ast.Call)
+        and isinstance(iter_expr.func, ast.Name)
+        and iter_expr.func.id == "range"
+        and len(iter_expr.args) < 3  # a stepped range is the chunking idiom
+    ):
+        for arg in iter_expr.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and len(arg.args) == 1
+                and analysis.eval(arg.args[0], state) == "jobs"
+            ):
+                rowwise = True
+    if rowwise:
+        report(
+            "rowwise-loop",
+            loop,
+            "python-level per-row iteration over a jobs-scale value: at "
+            "2.2 M jobs this is the slow path and it defeats chunked "
+            "scans — vectorize or iterate batches",
+        )
+    # Loop-carried accumulation of chunks: judged with the loop variable
+    # bound (the chunk a generator yields is what gets appended).
+    body_state = analysis.transfer(element, state)
+    scan = _LoopBodyScan()
+    for stmt in loop.body:
+        scan.visit(stmt)
+    if scan.has_break:
+        return  # an explicit bound: the accumulator cannot grow with the trace
+    for call in scan.appends:
+        if analysis.eval(call.args[0], body_state) in ("batch", "jobs"):
+            report(
+                "unbounded-accumulation",
+                call,
+                f".{call.func.attr}() accumulates batch/jobs-scale chunks "
+                "with no bound: memory grows with the trace length, not "
+                "the chunk size — consume the stream instead of collecting it",
+            )
+
+
+def _visit_element(analysis, element, state, streaming, report) -> None:
+    if isinstance(element, ForBind):
+        _check_for_loop(analysis, element, state, report)
+        _scan_expr(analysis, element.node.iter, state, streaming, report)
+        return
+    if isinstance(element, Test):
+        _scan_expr(analysis, element.expr, state, streaming, report)
+        return
+    if isinstance(element, WithEnter):
+        _scan_expr(analysis, element.item.context_expr, state, streaming, report)
+        return
+    if isinstance(element, (WithExit, ExceptBind)):
+        return
+    if isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested scopes get their own graphs
+    if isinstance(element, (ast.Return, ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr)):
+        if getattr(element, "value", None) is not None:
+            _scan_expr(analysis, element.value, state, streaming, report)
+        return
+    if isinstance(element, ast.Assert):
+        _scan_expr(analysis, element.test, state, streaming, report)
+        return
+    for child in ast.iter_child_nodes(element):
+        if isinstance(child, ast.expr):
+            _scan_expr(analysis, child, state, streaming, report)
+
+
+def module_capacity_findings(module) -> list:
+    """All capacity findings for one file: ``(rule_id, line, col, message)``.
+
+    One fixpoint per function CFG, shared by the four rules and memoized
+    on the :class:`ModuleContext`.
+    """
+    cached = getattr(module, "_capacity_findings", None)
+    if cached is not None:
+        return cached
+
+    env = _Env(module)
+    findings: list = []
+    reported: set = set()
+
+    def report(rule_id, node, message):
+        key = (rule_id, node.lineno, node.col_offset, message)
+        if key not in reported:
+            reported.add(key)
+            findings.append((rule_id, node.lineno, node.col_offset, message))
+
+    if env.scale_lines:  # no seeds, no facts: the whole file is unknown
+        for graph in cfgs_for(module):
+            params: dict = {}
+            streaming = None
+            if graph.node is not None:
+                raw = def_window_annotation(graph.node, env.scale_lines)
+                if raw is not None:
+                    params, _ret = parse_def_scale_spec(raw)
+                streaming = def_window_annotation(graph.node, env.streaming_lines)
+            analysis = _ScaleAnalysis(env, params)
+            COUNTERS["scale_fixpoints"] += 1
+            result = run_forward(graph.cfg, analysis)
+            for block in graph.cfg.blocks:
+                if block.id not in result.in_states:
+                    continue  # unreachable
+                state = result.in_states[block.id]
+                for element in block.elements:
+                    _visit_element(analysis, element, state, streaming, report)
+                    state = analysis.transfer(element, state)
+
+    module._capacity_findings = findings
+    return findings
+
+
+class _CapacityRuleBase(Rule):
+    """One shared cardinality pass; each subclass yields its rule's slice."""
+
+    def check(self, module):
+        for rule_id, line, col, message in module_capacity_findings(module):
+            if rule_id == self.id:
+                yield Finding(
+                    path=module.path, line=line, col=col, rule_id=self.id, message=message
+                )
+
+
+@register
+class FullMaterializationRule(_CapacityRuleBase):
+    id = "full-materialization"
+    description = (
+        "a # streaming: function materializes a jobs-scale value "
+        "(list()/np.stack/comprehension over full-trace data)"
+    )
+
+
+@register
+class UnboundedAccumulationRule(_CapacityRuleBase):
+    id = "unbounded-accumulation"
+    description = (
+        "a loop appends batch/jobs-scale chunks onto an accumulator with "
+        "no bound: peak memory grows with the trace, not the chunk size"
+    )
+
+
+@register
+class ScaleAmplificationRule(_CapacityRuleBase):
+    id = "scale-amplification"
+    description = (
+        "per-row dict conversion, .tolist(), or chained copies multiply "
+        "the footprint of a jobs-scale array"
+    )
+
+
+@register
+class RowwiseLoopRule(_CapacityRuleBase):
+    id = "rowwise-loop"
+    description = (
+        "python-level per-row iteration over a jobs-scale column; "
+        "vectorize or iterate chunked batches instead"
+    )

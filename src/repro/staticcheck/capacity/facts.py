@@ -1,0 +1,89 @@
+"""Per-module capacity facts for the cross-module streaming contract.
+
+Extracted once per cold file during summary building and serialized on
+:class:`~repro.staticcheck.project.summary.ModuleSummary.capacity`, so
+the incremental cache serves them without re-parsing.  Three tables,
+keyed by function qualname:
+
+* ``streaming`` — ``# streaming:`` reason text per annotated def.
+* ``returns`` — the declared ``# scale: ... -> X`` per-use return scale.
+* ``materializes`` — line of the first ``return`` whose value is a
+  materialized collection (``list()``/``sorted()``/``np.stack``-style
+  call, a ``.rows()``/``.tolist()`` result, or a list comprehension).
+  A purely syntactic fact: it only bites when the project rule combines
+  it with a ``streaming`` or jobs-``returns`` fact.
+
+Modules with neither ``# scale:`` nor ``# streaming:`` annotations
+contribute nothing — the facts walk is skipped and their summaries stay
+exactly as small as before this tier existed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.capacity import COUNTERS
+from repro.staticcheck.capacity.dataflow import def_window_annotation, iter_defs
+from repro.staticcheck.capacity.scales import parse_def_scale_spec
+from repro.staticcheck.perf.arrays import tagged_comments
+
+__all__ = ["collect_capacity_facts"]
+
+#: Call basenames whose return value is a materialized collection.
+_MATERIALIZING_NAMES = frozenset({"list", "tuple", "sorted"})
+_MATERIALIZING_ATTRS = frozenset(
+    {"rows", "tolist", "stack", "vstack", "hstack", "concatenate", "array"}
+)
+
+
+class _ReturnScan(ast.NodeVisitor):
+    """First materializing ``return`` in one def, nested defs excluded."""
+
+    def __init__(self) -> None:
+        self.line: int | None = None
+
+    def visit_FunctionDef(self, node) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if self.line is not None or node.value is None:
+            return
+        value = node.value
+        if isinstance(value, ast.ListComp):
+            self.line = node.lineno
+            return
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in _MATERIALIZING_NAMES:
+                self.line = node.lineno
+            elif isinstance(func, ast.Attribute) and func.attr in _MATERIALIZING_ATTRS:
+                self.line = node.lineno
+
+
+def collect_capacity_facts(summary, tree: ast.Module, source: str) -> None:
+    """Populate ``summary.capacity`` from one parsed module."""
+    scale_lines = tagged_comments(source, "scale")
+    streaming_lines = tagged_comments(source, "streaming")
+    if not scale_lines and not streaming_lines:
+        return
+    facts: dict = {"streaming": {}, "returns": {}, "materializes": {}}
+    for qual, node in iter_defs(tree):
+        reason = def_window_annotation(node, streaming_lines)
+        if reason is not None:
+            facts["streaming"][qual] = reason
+            COUNTERS["streaming_functions"] += 1
+        raw = def_window_annotation(node, scale_lines)
+        if raw is not None:
+            _params, ret = parse_def_scale_spec(raw)
+            if ret is not None:
+                facts["returns"][qual] = ret
+        scan = _ReturnScan()
+        for stmt in node.body:
+            scan.visit(stmt)
+        if scan.line is not None:
+            facts["materializes"][qual] = scan.line
+    facts = {key: table for key, table in facts.items() if table}
+    if facts:
+        summary.capacity = facts

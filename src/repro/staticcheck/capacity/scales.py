@@ -1,0 +1,83 @@
+"""The cardinality lattice and the ``# scale:`` / ``# streaming:`` parsers.
+
+A *scale* names the order of magnitude of rows a value holds:
+
+* ``bounded`` — O(1) or O(batch-constant): scalars, headers, chunk
+  buffers capped by a literal, reductions of anything.
+* ``batch`` — one streaming chunk (a day of trace, a ``batch_rows``
+  slice): bounded by configuration, not by the trace.
+* ``jobs`` — proportional to the job count itself: a full table column,
+  a whole :class:`~repro.fugaku.trace.JobTrace` array, the concatenated
+  output of a workload generation run.  At F-DATA scale this is the
+  cardinality that must never be materialized on a streaming path.
+
+Annotations use the same tokenizer-backed comment scanner as the perf
+tier (``# dtype:``/``# shape:``), so a ``# scale:`` inside a string
+literal never counts:
+
+* ``x = fetch_all()  # scale: jobs`` — seed one assignment.
+* ``def f(rows):  # scale: rows=jobs -> batch`` — seed parameters and
+  declare the scale of the value a caller binds *per use*: the return
+  for plain functions, each yield for generators (so a chunked scan is
+  ``-> batch`` even though the stream covers jobs-many rows in total).
+* ``def f(...):  # streaming: <reason>`` — declare the function part of
+  a streaming path; the capacity rules then forbid materializing
+  jobs-scale data anywhere inside it, and the cross-module
+  ``streaming-contract`` rule holds its callees to the same discipline.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCALES",
+    "SCALE_ORDER",
+    "max_scale",
+    "parse_scale_spec",
+    "parse_def_scale_spec",
+]
+
+#: Lattice points, bottom-up.  ``None`` (absent) is unknown and silent.
+SCALES = ("bounded", "batch", "jobs")
+
+SCALE_ORDER = {name: rank for rank, name in enumerate(SCALES)}
+
+
+def max_scale(*scales):
+    """Join of known scales; ``None`` operands are unknown and ignored.
+
+    Returns ``None`` only when every operand is unknown — a may-analysis
+    join: an elementwise op over a jobs-length array is jobs-length no
+    matter what rides along.
+    """
+    known = [s for s in scales if s is not None]
+    if not known:
+        return None
+    return max(known, key=SCALE_ORDER.__getitem__)
+
+
+def parse_scale_spec(spec: str):
+    """``jobs`` -> ``"jobs"``; unknown names -> ``None``."""
+    spec = spec.strip()
+    return spec if spec in SCALE_ORDER else None
+
+
+def parse_def_scale_spec(spec: str):
+    """Parse a def-line spec ``rows=jobs, header=bounded -> batch``.
+
+    Returns ``(params, ret)``: a name->scale dict and the declared
+    per-use scale of the return (or ``None``).  Malformed fragments are
+    skipped rather than guessed at, mirroring the dtype spec parser.
+    """
+    ret = None
+    if "->" in spec:
+        spec, _, ret_part = spec.partition("->")
+        ret = parse_scale_spec(ret_part)
+    params: dict = {}
+    for part in spec.split(","):
+        name, eq, value = part.partition("=")
+        if not eq:
+            continue
+        scale = parse_scale_spec(value)
+        if scale is not None and name.strip().isidentifier():
+            params[name.strip()] = scale
+    return params, ret

@@ -22,6 +22,7 @@ from repro.staticcheck.project.dead_exports import DeadExportRule
 from repro.staticcheck.project.graph import CallGraph, ImportGraph, ProjectContext
 from repro.staticcheck.project.summary import ModuleSummary, build_summary, module_name_for_path
 from repro.staticcheck.project.taint import TaintedPersistenceRule
+from repro.staticcheck.capacity.contract import StreamingContractRule
 from repro.staticcheck.perf.hotpath import HotPathGapRule
 from repro.staticcheck.procs.model import ProcessModel
 from repro.staticcheck.procs.rules import (
@@ -50,6 +51,7 @@ __all__ = [
     "ProcessModel",
     "ProjectContext",
     "SharedMemProtocolRule",
+    "StreamingContractRule",
     "TaintedPersistenceRule",
     "UnguardedSharedWriteRule",
     "build_summary",

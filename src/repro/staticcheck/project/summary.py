@@ -233,6 +233,10 @@ class ModuleSummary:
     #: SharedArray lifecycles) for the procs tier — see
     #: :mod:`repro.staticcheck.procs.facts`.
     procs: dict = field(default_factory=dict)
+    #: capacity facts (streaming annotations, return scales,
+    #: materializing returns) for the streaming-contract rule — see
+    #: :mod:`repro.staticcheck.capacity.facts`.
+    capacity: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -252,6 +256,7 @@ class ModuleSummary:
             "concurrency": self.concurrency,
             "hotpaths": self.hotpaths,
             "procs": self.procs,
+            "capacity": self.capacity,
         }
 
     @classmethod
@@ -275,6 +280,7 @@ class ModuleSummary:
             concurrency=doc.get("concurrency", {}),
             hotpaths=doc.get("hotpaths", {}),
             procs=doc.get("procs", {}),
+            capacity=doc.get("capacity", {}),
         )
 
 
@@ -918,11 +924,13 @@ def build_summary(path: str, source: str, tree: ast.Module, module_name: str | N
     # Deferred imports: perf.hotpath and procs.rules register project
     # rules on import, and pulling them in at module scope would tangle
     # package init order.
+    from repro.staticcheck.capacity.facts import collect_capacity_facts
     from repro.staticcheck.perf.hotpath import annotated_quals
     from repro.staticcheck.procs.facts import collect_procs_facts
 
     summary.hotpaths = annotated_quals(tree, source)
     collect_procs_facts(summary, tree)
+    collect_capacity_facts(summary, tree, source)
     summary.directives = [
         {"line": d.line, "rules": sorted(d.rule_ids), "covers": list(d.covers)}
         for d in parse_directives(source)

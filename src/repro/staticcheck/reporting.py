@@ -49,6 +49,8 @@ def render_statistics(stats: CheckStats) -> str:
         f"  perf fixpoints:   {stats.perf_array_fixpoints}",
         f"  procs boundaries: {stats.procs_boundaries}",
         f"  procs segments:   {stats.procs_segments}",
+        f"  scale fixpoints:  {stats.capacity_fixpoints}",
+        f"  streaming defs:   {stats.capacity_streaming}",
     ]
     if stats.findings_per_rule:
         lines.append("  findings by rule:")

@@ -1,5 +1,11 @@
 """Built-in MCBound rules; importing this package registers all of them."""
 
+from repro.staticcheck.capacity.dataflow import (
+    FullMaterializationRule,
+    RowwiseLoopRule,
+    ScaleAmplificationRule,
+    UnboundedAccumulationRule,
+)
 from repro.staticcheck.flow.resources import DoubleReleaseRule, ResourceLeakRule
 from repro.staticcheck.flow.units import UnitMismatchRule
 from repro.staticcheck.perf.dataflow import (
@@ -30,14 +36,18 @@ __all__ = [
     "DtypeUpcastRule",
     "ExportDriftRule",
     "FloatEqualityRule",
+    "FullMaterializationRule",
     "HiddenCopyRule",
     "LoopAllocRule",
     "MutableDefaultRule",
     "PerItemCallRule",
     "QuadraticGrowthRule",
     "ResourceLeakRule",
+    "RowwiseLoopRule",
     "ScalarLoopRule",
+    "ScaleAmplificationRule",
     "SilentExceptRule",
+    "UnboundedAccumulationRule",
     "UnitMismatchRule",
     "UnorderedIterationRule",
     "UnpicklableTaskRule",

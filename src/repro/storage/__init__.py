@@ -13,10 +13,12 @@ this subpackage implements a small in-process relational engine:
   evaluation and a tiny planner that uses sorted indexes for equality and
   range predicates.
 - :mod:`repro.storage.index` — sorted secondary indexes.
+- :mod:`repro.storage.partition` — fixed-width time-partitioned segments.
 """
 
 from repro.storage.schema import ColumnType, ColumnDef, TableSchema
-from repro.storage.engine import Database, Table, ResultSet
+from repro.storage.engine import Database, Table, ResultSet, SCAN_BATCH_ROWS
+from repro.storage.partition import SegmentedTable
 from repro.storage.sqlparser import parse_sql, SQLSyntaxError
 from repro.storage.index import SortedIndex
 
@@ -27,6 +29,8 @@ __all__ = [
     "Database",
     "Table",
     "ResultSet",
+    "SCAN_BATCH_ROWS",
+    "SegmentedTable",
     "parse_sql",
     "SQLSyntaxError",
     "SortedIndex",

@@ -9,7 +9,8 @@ over rows.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from repro.storage.sqlparser import (
     parse_sql,
 )
 
-__all__ = ["Table", "ResultSet", "Database"]
+__all__ = ["Table", "ResultSet", "Database", "SCAN_BATCH_ROWS"]
 
 
 class ResultSet:
@@ -54,14 +55,29 @@ class ResultSet:
     def column(self, name: str) -> np.ndarray:
         return self._cols[name]
 
-    def rows(self) -> list[dict]:
-        """Materialize as a list of per-row dicts (storage boundary only)."""
+    def iter_rows(self) -> Iterator[dict]:
+        # streaming: one row dict per yield, constant memory
+        # scale: -> bounded
+        """Yield per-row dicts one at a time.
+
+        This is the internal row-iteration API: peak memory is one row,
+        whatever the result size.  Callers that need a list (the storage
+        boundary: CLI output, JSON serialization) use :meth:`rows`.
+        """
         names = list(self._cols)
         cols = [self._cols[n] for n in names]
-        out = []
         for i in range(self._n):
-            out.append({n: _to_python(c[i]) for n, c in zip(names, cols)})
-        return out
+            yield {n: _to_python(c[i]) for n, c in zip(names, cols)}
+
+    def rows(self) -> list[dict]:
+        # scale: -> jobs
+        """Materialize every row as a dict — storage-boundary API only.
+
+        The list is as large as the result set; internal callers iterate
+        :meth:`iter_rows` instead so jobs-scale results never exist as
+        python objects all at once.
+        """
+        return list(self.iter_rows())
 
 
 def _to_python(v):
@@ -74,6 +90,10 @@ def _to_python(v):
 
 _GROWTH = 1.5
 _MIN_CAPACITY = 64
+#: Rows coerced per chunk when ingesting an arbitrary iterable.
+_INSERT_CHUNK = 4096
+#: Default rows per yielded batch in :meth:`Table.scan_batches`.
+SCAN_BATCH_ROWS = 65536
 
 
 class Table:
@@ -89,6 +109,9 @@ class Table:
         self._indexes: dict[str, SortedIndex] = {
             name: SortedIndex(name) for name in schema.indexed_columns
         }
+        # Lazily computed per-column monotonicity, invalidated on insert;
+        # lets scan_batches take the searchsorted window fast path.
+        self._sorted_cache: dict[str, bool] = {}
 
     def __len__(self) -> int:
         return self._n
@@ -113,28 +136,43 @@ class Table:
         self._capacity = cap
 
     def insert_rows(self, columns: Sequence[str], rows: Iterable[Sequence]) -> int:
-        """Insert rows given as tuples ordered like ``columns``; returns count."""
-        rows = list(rows)
-        if not rows:
-            return 0
+        # streaming: consumes its input in _INSERT_CHUNK-row chunks
+        """Insert rows given as tuples ordered like ``columns``; returns count.
+
+        ``rows`` may be any iterable — including a generator — and is
+        consumed in fixed-size chunks, so peak memory is bounded by the
+        chunk size, never the input length.  A malformed row raises
+        mid-ingest; rows from earlier chunks stay inserted.
+        """
         if set(columns) != set(self.schema.column_names):
             missing = set(self.schema.column_names) - set(columns)
             extra = set(columns) - set(self.schema.column_names)
             raise ValueError(f"column mismatch: missing={sorted(missing)} extra={sorted(extra)}")
         width = len(columns)
-        for r in rows:
-            if len(r) != width:
-                raise ValueError("row width does not match column list")
-        self._ensure_capacity(len(rows))
-        start = self._n
-        for j, name in enumerate(columns):
-            ctype = self.schema[name].ctype
-            coerced = [ctype.coerce(r[j]) for r in rows]
-            self._data[name][start : start + len(rows)] = coerced
-        self._n += len(rows)
-        for idx in self._indexes.values():
-            idx.invalidate()
-        return len(rows)
+        ctypes = [self.schema[name].ctype for name in columns]
+        it = iter(rows)
+        total = 0
+        while True:
+            chunk = list(islice(it, _INSERT_CHUNK))
+            if not chunk:
+                break
+            for r in chunk:
+                if len(r) != width:
+                    raise ValueError("row width does not match column list")
+            self._ensure_capacity(len(chunk))
+            start = self._n
+            for j, name in enumerate(columns):
+                ctype = ctypes[j]
+                self._data[name][start : start + len(chunk)] = [
+                    ctype.coerce(r[j]) for r in chunk
+                ]
+            self._n += len(chunk)
+            total += len(chunk)
+        if total:
+            for idx in self._indexes.values():
+                idx.invalidate()
+            self._sorted_cache.clear()
+        return total
 
     def insert_columns(self, columns: Mapping[str, np.ndarray]) -> int:
         """Bulk columnar insert (fast path used by trace loading)."""
@@ -157,7 +195,76 @@ class Table:
         self._n += count
         for idx in self._indexes.values():
             idx.invalidate()
+        self._sorted_cache.clear()
         return count
+
+    # -- chunked scans -------------------------------------------------------
+
+    def _is_sorted(self, name: str) -> bool:
+        """Cached non-decreasing check of a column, in bounded windows."""
+        cached = self._sorted_cache.get(name)
+        if cached is not None:
+            return cached
+        col = self.column(name)
+        ok = True
+        for start in range(0, max(len(col) - 1, 0), SCAN_BATCH_ROWS):
+            window = col[start : start + SCAN_BATCH_ROWS + 1]
+            if np.any(window[1:] < window[:-1]):
+                ok = False
+                break
+        self._sorted_cache[name] = ok
+        return ok
+
+    def scan_batches(
+        self,
+        column: str,
+        low=None,
+        high=None,
+        *,
+        batch_rows: int = SCAN_BATCH_ROWS,
+        columns: Sequence[str] | None = None,
+    ) -> Iterator[ResultSet]:
+        # streaming: columnar range scan, one ~batch_rows ResultSet per yield
+        # scale: -> batch
+        """Yield rows with ``low <= column < high`` as bounded columnar batches.
+
+        Peak memory is O(``batch_rows``), never O(table).  When ``column``
+        is stored in non-decreasing order (checked once and cached until
+        the next insert) the matching rows are a contiguous window found
+        by binary search and sliced out directly; otherwise each window
+        of the table is mask-filtered in turn, preserving row order.
+        ``low``/``high`` of ``None`` leave that side unbounded.
+        """
+        if column not in self.schema:
+            raise KeyError(f"table {self.schema.name!r} has no column {column!r}")
+        out_cols = tuple(columns) if columns is not None else self.schema.column_names
+        for c in out_cols:
+            if c not in self.schema:
+                raise KeyError(f"unknown column {c!r} in scan column list")
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        n = self._n
+        key = self._data[column][:n]
+        if self._is_sorted(column):
+            lo = 0 if low is None else int(np.searchsorted(key, low, side="left"))
+            hi = n if high is None else int(np.searchsorted(key, high, side="left"))
+            for start in range(lo, hi, batch_rows):
+                stop = min(start + batch_rows, hi)
+                yield ResultSet(
+                    {c: self._data[c][start:stop].copy() for c in out_cols}
+                )
+            return
+        for start in range(0, n, batch_rows):
+            stop = min(start + batch_rows, n)
+            window = key[start:stop]
+            mask = np.ones(stop - start, dtype=bool)
+            if low is not None:
+                mask &= window >= low
+            if high is not None:
+                mask &= window < high
+            if not mask.any():
+                continue
+            yield ResultSet({c: self._data[c][start:stop][mask] for c in out_cols})
 
     # -- index management ------------------------------------------------------
 

@@ -1,0 +1,47 @@
+"""generate_stream(): day-batched generation must equal generate() bit for bit."""
+
+import numpy as np
+
+from repro.fugaku.trace import JobTrace
+from repro.fugaku.workload import WorkloadConfig, WorkloadGenerator
+
+CFG = WorkloadConfig(scale=1.0 / 400.0, n_days=25, seed=31)
+
+
+def test_stream_concat_is_bit_identical_to_generate():
+    full = WorkloadGenerator(CFG).generate()
+    batches = list(WorkloadGenerator(CFG).generate_stream())
+    cat = JobTrace(
+        {k: np.concatenate([b[k] for b in batches]) for k in batches[0].column_names}
+    )
+    assert cat.column_names == full.column_names
+    for name in full.column_names:
+        assert np.array_equal(full[name], cat[name]), name
+
+
+def test_batches_are_day_local_and_submit_sorted():
+    day_seconds = 86_400.0
+    last_end = -np.inf
+    for batch in WorkloadGenerator(CFG).generate_stream():
+        st = batch["submit_time"]
+        assert np.all(np.diff(st) >= 0)  # sorted within the day
+        days = np.floor_divide(st, day_seconds)
+        assert days.min() == days.max()  # one day per batch
+        assert st[0] >= last_end  # days never interleave
+        last_end = st[-1]
+
+
+def test_job_ids_are_sequential_across_batches():
+    next_id = 1
+    for batch in WorkloadGenerator(CFG).generate_stream():
+        ids = batch["job_id"]
+        assert np.array_equal(ids, np.arange(next_id, next_id + len(batch)))
+        next_id += len(batch)
+
+
+def test_maintenance_days_yield_no_batch():
+    cfg = WorkloadConfig(scale=1.0 / 400.0, n_days=80, seed=5, maintenance_days=(40, 43))
+    gen = WorkloadGenerator(cfg)
+    daily = gen.daily_job_counts()
+    expected = int(np.count_nonzero(daily))
+    assert len(list(gen.generate_stream())) == expected

@@ -1,0 +1,403 @@
+"""Capacity-tier rules: cardinality dataflow and streaming discipline.
+
+Each of the five rules has an exactly-one-finding fixture (checked in the
+findings list, the JSON render and the SARIF render) plus a clean sibling
+one lattice point away; the cross-module ``streaming-contract`` rule has
+a two-file package fixture mirroring the hot-path-gap test.  The warm
+test pins the cache behaviour the schema bump exists for: capacity
+findings and the summaries' capacity facts survive a cache round-trip.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.staticcheck import (
+    check_paths,
+    check_source,
+    render_json,
+    render_sarif,
+    resolve_rules,
+)
+from repro.staticcheck.capacity.dataflow import module_capacity_findings
+from repro.staticcheck.capacity.scales import (
+    SCALE_ORDER,
+    SCALES,
+    max_scale,
+    parse_def_scale_spec,
+    parse_scale_spec,
+)
+from repro.staticcheck.reporting import render_statistics
+
+CAPACITY_RULES = [
+    "full-materialization",
+    "unbounded-accumulation",
+    "scale-amplification",
+    "rowwise-loop",
+]
+
+
+def run(source, *, select=CAPACITY_RULES, path="snippet.py"):
+    return check_source(
+        textwrap.dedent(source), path=path, rules=resolve_rules(select=select)
+    )
+
+
+def findings_of(source, **kwargs):
+    return [(f.rule_id, f.line) for f in run(source, **kwargs).findings]
+
+
+#: a # streaming: function that materializes the whole jobs-scale input
+#: (line 7): the exact failure mode the streaming tier exists to catch.
+FULL_MATERIALIZATION = """\
+import numpy as np
+
+
+def drain(fetch):
+    # streaming: chunked drain of the jobs table
+    col = fetch()  # scale: jobs
+    return list(col)
+"""
+
+#: a loop accumulating batch-scale chunks with no bound (line 8): memory
+#: grows with the trace length, not the chunk size.
+UNBOUNDED_ACCUMULATION = """\
+def load_day(day):  # scale: -> batch
+    return day
+
+
+def collect(days):
+    acc = []
+    for day in days:
+        acc.append(load_day(day))
+    return acc
+"""
+
+#: .tolist() on a jobs-scale column (line 6): per-row python objects at
+#: ~10x the columnar footprint.
+SCALE_AMPLIFICATION = """\
+import numpy as np
+
+
+def export(fetch):
+    col = fetch()  # scale: jobs
+    return col.tolist()
+"""
+
+#: python-level per-row iteration over a jobs-scale column (line 6).
+ROWWISE_LOOP = """\
+def total(col):  # scale: col=jobs
+    acc = 0.0
+    x = col
+    for v in x:
+        acc += v
+    return acc
+"""
+
+RULE_FIXTURES = {
+    "full-materialization": (FULL_MATERIALIZATION, 7),
+    "unbounded-accumulation": (UNBOUNDED_ACCUMULATION, 8),
+    "scale-amplification": (SCALE_AMPLIFICATION, 6),
+    "rowwise-loop": (ROWWISE_LOOP, 4),
+}
+
+#: the same shape one lattice point away (or with the bound the rule
+#: demands): every fixture's sibling must be silent.
+CLEAN_SIBLINGS = {
+    "full-materialization": FULL_MATERIALIZATION.replace(
+        "# scale: jobs", "# scale: batch"
+    ),
+    "unbounded-accumulation": UNBOUNDED_ACCUMULATION.replace(
+        "# scale: -> batch", "# scale: -> bounded"
+    ),
+    "scale-amplification": SCALE_AMPLIFICATION.replace(
+        "# scale: jobs", "# scale: batch"
+    ),
+    "rowwise-loop": ROWWISE_LOOP.replace("# scale: col=jobs", "# scale: col=batch"),
+}
+
+
+class TestEveryRuleInBothRenders:
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_exactly_one_finding(self, rule):
+        source, line = RULE_FIXTURES[rule]
+        result = run(source)
+        assert [(f.rule_id, f.line) for f in result.findings] == [(rule, line)]
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_clean_sibling_is_silent(self, rule):
+        assert findings_of(CLEAN_SIBLINGS[rule]) == []
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_json_render_carries_the_same_single_finding(self, rule):
+        source, line = RULE_FIXTURES[rule]
+        doc = json.loads(render_json(run(source)))
+        assert [(f["rule"], f["line"]) for f in doc["findings"]] == [(rule, line)]
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_sarif_render_carries_the_same_single_finding(self, rule):
+        source, line = RULE_FIXTURES[rule]
+        doc = json.loads(render_sarif(run(source)))
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["ruleId"] == rule
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == line
+
+
+class TestLattice:
+    def test_order_and_join(self):
+        assert SCALES == ("bounded", "batch", "jobs")
+        assert SCALE_ORDER["bounded"] < SCALE_ORDER["batch"] < SCALE_ORDER["jobs"]
+        assert max_scale("batch", None, "jobs") == "jobs"
+        assert max_scale(None, None) is None
+        assert max_scale() is None
+
+    def test_spec_parsing(self):
+        assert parse_scale_spec(" jobs ") == "jobs"
+        assert parse_scale_spec("huge") is None
+        params, ret = parse_def_scale_spec("rows=jobs, header=bounded -> batch")
+        assert params == {"rows": "jobs", "header": "bounded"}
+        assert ret == "batch"
+        params, ret = parse_def_scale_spec("-> jobs")
+        assert params == {} and ret == "jobs"
+
+    def test_module_findings_are_memoized(self):
+        module = result_module(ROWWISE_LOOP)
+        rows = module_capacity_findings(module)
+        assert [(r, l) for r, l, _c, _m in rows] == [("rowwise-loop", 4)]
+        assert module_capacity_findings(module) is rows
+
+    def test_unannotated_file_costs_no_fixpoints(self):
+        from repro.staticcheck.capacity import COUNTERS
+
+        module = result_module("def f(xs):\n    return [x for x in xs]\n")
+        before = COUNTERS["scale_fixpoints"]
+        assert module_capacity_findings(module) == []
+        assert COUNTERS["scale_fixpoints"] == before
+
+
+def result_module(source):
+    """A ModuleContext for white-box capacity assertions."""
+    import ast
+
+    from repro.staticcheck.engine import ModuleContext
+
+    text = textwrap.dedent(source)
+    return ModuleContext(path="snippet.py", source=text, tree=ast.parse(text))
+
+
+class TestPropagation:
+    def test_scale_flows_through_assignments_and_slices(self):
+        src = """\
+        def walk(col):  # scale: col=jobs
+            window = col[10:]
+            for v in window:
+                print(v)
+        """
+        assert findings_of(src) == [("rowwise-loop", 3)]
+
+    def test_reducers_drop_to_bounded(self):
+        src = """\
+        def stat(col):  # scale: col=jobs
+            n = len(col)
+            for v in range(3):
+                print(n, v)
+        """
+        assert findings_of(src) == []
+
+    def test_stepped_range_is_the_chunking_idiom(self):
+        src = """\
+        def scan(col):  # scale: col=jobs
+            for start in range(0, len(col), 4096):
+                print(col[start : start + 4096])
+        """
+        assert findings_of(src) == []
+
+    def test_range_len_over_jobs_is_rowwise(self):
+        src = """\
+        def scan(col):  # scale: col=jobs
+            for i in range(len(col)):
+                print(col[i])
+        """
+        assert findings_of(src) == [("rowwise-loop", 2)]
+
+    def test_break_bounds_the_accumulator(self):
+        src = UNBOUNDED_ACCUMULATION.replace(
+            "        acc.append(load_day(day))",
+            "        acc.append(load_day(day))\n        if len(acc) > 3:\n            break",
+        )
+        assert findings_of(src) == []
+
+    def test_row_dict_comprehension_amplifies(self):
+        src = """\
+        def to_dicts(col):  # scale: col=jobs
+            return [dict(v=v) for v in col]
+        """
+        assert findings_of(src) == [("scale-amplification", 2)]
+
+    def test_generator_call_binds_declared_scale_per_yield(self):
+        # iterating a -> batch generator binds batch chunks, and piling
+        # them up is the accumulation anti-pattern, not a rowwise loop
+        src = """\
+        def scan():  # scale: -> batch
+            yield [1]
+
+
+        def consume():
+            out = []
+            for chunk in scan():
+                out.append(chunk)
+            return out
+        """
+        assert findings_of(src) == [("unbounded-accumulation", 8)]
+
+
+class TestSuppression:
+    def test_inline_ignore_is_honoured(self):
+        src = """\
+        def total(col):  # scale: col=jobs
+            acc = 0.0
+            for v in col:  # staticcheck: ignore[rowwise-loop] - tiny debug helper
+                acc += v
+            return acc
+        """
+        result = run(src)
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["rowwise-loop"]
+
+    def test_stale_capacity_suppression_is_audited(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            textwrap.dedent(
+                """\
+                __all__ = ["total"]
+
+
+                def total(col):  # scale: col=jobs
+                    return sum(col)  # staticcheck: ignore[rowwise-loop]
+                """
+            )
+        )
+        result = check_paths([target])
+        rows = [f for f in result.findings if f.rule_id == "unused-suppression"]
+        assert len(rows) == 1
+        assert "ignore[rowwise-loop]" in rows[0].message
+
+
+class TestStreamingContract:
+    def write_project(self, tmp_path, *, returns="jobs"):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir(exist_ok=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "store.py").write_text(
+            textwrap.dedent(
+                f"""\
+                def fetch_all():  # scale: -> {returns}
+                    return list(range(10))
+                """
+            )
+        )
+        (pkg / "serve.py").write_text(
+            textwrap.dedent(
+                """\
+                from pkg.store import fetch_all
+
+
+                def stream_jobs():
+                    # streaming: serve-path drain
+                    for row in fetch_all():
+                        yield row
+                """
+            )
+        )
+        return pkg
+
+    def check_contract(self, pkg, **kwargs):
+        from repro.staticcheck.capacity.contract import StreamingContractRule
+
+        result = check_paths(
+            [pkg], rules=[], project_rules=[StreamingContractRule()], **kwargs
+        )
+        return result, [f for f in result.findings if f.rule_id == "streaming-contract"]
+
+    def test_streaming_caller_of_materializing_jobs_fetch(self, tmp_path):
+        pkg = self.write_project(tmp_path)
+        _, rows = self.check_contract(pkg)
+        assert [(f.path, f.line) for f in rows] == [(str(pkg / "serve.py"), 6)]
+        assert "fetch_all" in rows[0].message
+        assert "store.py" in rows[0].message
+
+    def test_batch_scale_fetch_closes_the_gap(self, tmp_path):
+        pkg = self.write_project(tmp_path, returns="batch")
+        _, rows = self.check_contract(pkg)
+        assert rows == []
+
+    def test_streaming_function_materializing_its_own_return(self, tmp_path):
+        pkg = tmp_path / "pkg2"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "bad.py").write_text(
+            textwrap.dedent(
+                """\
+                def stream(col):  # scale: col=jobs
+                    # streaming: must stay lazy
+                    return sorted(col)
+                """
+            )
+        )
+        from repro.staticcheck.capacity.contract import StreamingContractRule
+
+        result = check_paths([pkg], rules=[], project_rules=[StreamingContractRule()])
+        rows = [f for f in result.findings if f.rule_id == "streaming-contract"]
+        assert [(f.path, f.line) for f in rows] == [(str(pkg / "bad.py"), 3)]
+
+    def test_contract_survives_a_warm_cache(self, tmp_path):
+        # the schema-7 point: capacity facts ride in the cached summaries,
+        # so the cross-module rule must fire identically with zero misses
+        pkg = self.write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold, cold_rows = self.check_contract(pkg, cache_path=cache)
+        warm, warm_rows = self.check_contract(pkg, cache_path=cache)
+        assert [(f.path, f.line) for f in warm_rows] == [
+            (f.path, f.line) for f in cold_rows
+        ]
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.capacity_fixpoints == 0
+
+
+class TestStatistics:
+    def test_capacity_counters_flow_into_stats(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(textwrap.dedent(FULL_MATERIALIZATION))
+        result = check_paths(
+            [target], rules=resolve_rules(select=CAPACITY_RULES), project_rules=[]
+        )
+        assert result.stats.capacity_fixpoints > 0
+        assert result.stats.capacity_streaming == 1
+        text = render_statistics(result.stats)
+        assert "scale fixpoints:" in text
+        assert "streaming defs:" in text
+
+    def test_warm_run_does_no_capacity_work(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(textwrap.dedent(FULL_MATERIALIZATION))
+        cache = tmp_path / "cache.json"
+        cold = check_paths(
+            [target],
+            rules=resolve_rules(select=CAPACITY_RULES),
+            project_rules=[],
+            cache_path=cache,
+        )
+        warm = check_paths(
+            [target],
+            rules=resolve_rules(select=CAPACITY_RULES),
+            project_rules=[],
+            cache_path=cache,
+        )
+        assert [(f.rule_id, f.line) for f in warm.findings] == [
+            (f.rule_id, f.line) for f in cold.findings
+        ] == [("full-materialization", 7)]
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.capacity_fixpoints == 0

@@ -72,6 +72,16 @@ CAPACITY_RULES = (
     "scale-amplification",
     "rowwise-loop",
 )
+#: The sysmodel tier (this PR): spec-literal dimension checks per file,
+#: plus the three cross-module contract/leak/dispatch project rules.
+#: Per-file sysmodel facts are cold-only summary work; the warm overhead
+#: column isolates the every-invocation project-rule pass.
+SYSMODEL_RULES = (
+    "sysmodel-dimension",
+    "sysmodel-contract",
+    "system-constant-leak",
+    "system-dispatch",
+)
 
 NUM_FILES = 24
 
@@ -131,6 +141,14 @@ def _drain_{i}(batches):
     for chunk in batches:
         total = total + len(chunk)
     return total
+
+
+_SPEC_{i} = MachineSpec(
+    name="bench{i}",
+    peak_gflops_node=100.0,
+    peak_membw_gbs=50.0,
+    frequencies_ghz=(2.0, 2.2),
+)
 '''
 
 
@@ -153,6 +171,7 @@ def results():
             "perf_rules": list(PERF_RULES),
             "procs_rules": list(PROCS_RULES),
             "capacity_rules": list(CAPACITY_RULES),
+            "sysmodel_rules": list(SYSMODEL_RULES),
         }
     }
 
@@ -212,6 +231,13 @@ def test_warm_runs(results, project, tmp_path):
             resolve_rules(ignore=list(CAPACITY_RULES)),
             resolve_project_rules(ignore=["streaming-contract"]),
         ),
+        "no_sysmodel": (
+            tmp_path / "warm-nosys.json",
+            resolve_rules(ignore=["sysmodel-dimension"]),
+            resolve_project_rules(
+                ignore=["sysmodel-contract", "system-constant-leak", "system-dispatch"]
+            ),
+        ),
     }
     warm = {}
     for tag, (cache, rules, project_rules) in caches.items():
@@ -226,11 +252,14 @@ def test_warm_runs(results, project, tmp_path):
         assert result.stats.perf_array_fixpoints == 0
         assert result.stats.procs_boundaries == 0
         assert result.stats.capacity_fixpoints == 0
+        assert result.stats.sysmodel_classes == 0
+        assert result.stats.sysmodel_specs == 0
     results["warm"] = {
         "all_s": warm["all"],
         "no_perf_s": warm["no_perf"],
         "no_procs_s": warm["no_procs"],
         "no_capacity_s": warm["no_capacity"],
+        "no_sysmodel_s": warm["no_sysmodel"],
         "files_per_s": throughput(NUM_FILES + 1, warm["all"]),
     }
 
@@ -272,6 +301,7 @@ def test_write_bench_json(results):
         "perf_warm_overhead": warm["all_s"] / warm["no_perf_s"],
         "procs_warm_overhead": warm["all_s"] / warm["no_procs_s"],
         "capacity_warm_overhead": warm["all_s"] / warm["no_capacity_s"],
+        "sysmodel_warm_overhead": warm["all_s"] / warm["no_sysmodel_s"],
     }
     results["ratios"] = ratios
 
@@ -305,6 +335,12 @@ def test_write_bench_json(results):
             f"capacity tier costs {ratios['capacity_warm_overhead']:.2f}x "
             f"on a warm cache (cap {WARM_TIER_OVERHEAD_CAP}x): scale "
             "fixpoints are being recomputed despite cached findings"
+        )
+    if ratios["sysmodel_warm_overhead"] > WARM_TIER_OVERHEAD_CAP:
+        failures.append(
+            f"sysmodel tier costs {ratios['sysmodel_warm_overhead']:.2f}x "
+            f"on a warm cache (cap {WARM_TIER_OVERHEAD_CAP}x): the contract "
+            "pass is redoing per-file work the cached summaries already hold"
         )
     if baseline and "ratios" in baseline:
         old = baseline["ratios"].get("warm_speedup")

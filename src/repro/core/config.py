@@ -51,6 +51,18 @@ class MCBoundConfig:
         Seed of the hashed embedding projection.
     use_idf:
         Whether the encoder weights tokens by online IDF.
+    system:
+        Registered system-model name (``repro.systems``) supplying the
+        counter→flops/bytes transform.  The peak ceilings above stay
+        independent so a deployment can override them, but
+        :meth:`for_system` derives all three from one registry entry.
+    predict_memo:
+        Capacity of the serve-path prediction memo (submission string →
+        label); 0 disables it.  Users submit batches of identical jobs
+        (§V-C.c), so repeats skip the encoder and the forest entirely.
+    train_reservoir:
+        Bound on training rows held in memory at once: windows larger
+        than this are uniformly reservoir-sampled while streaming.
     """
 
     peak_gflops_node: float = FUGAKU.peak_gflops_node
@@ -63,6 +75,9 @@ class MCBoundConfig:
     beta_days: float = 1.0
     embedder_seed: int = 17
     use_idf: bool = False
+    system: str = "fugaku"
+    predict_memo: int = 4096
+    train_reservoir: int = 50_000
 
     def __post_init__(self) -> None:
         if self.peak_gflops_node <= 0 or self.peak_membw_gbs <= 0:
@@ -73,6 +88,20 @@ class MCBoundConfig:
             raise ValueError("alpha_days must be positive")
         if self.beta_days <= 0:
             raise ValueError("beta_days must be positive")
+        if self.predict_memo < 0:
+            raise ValueError("predict_memo must be non-negative")
+        if self.train_reservoir <= 0:
+            raise ValueError("train_reservoir must be positive")
+
+    @classmethod
+    def for_system(cls, name: str, **overrides) -> "MCBoundConfig":
+        """Config for a registered system: its peaks, its transform."""
+        from repro.systems import get_system
+
+        system = get_system(name)
+        overrides.setdefault("peak_gflops_node", system.peak_gflops_node)
+        overrides.setdefault("peak_membw_gbs", system.peak_membw_gbs)
+        return cls(system=name, **overrides)
 
     def to_dict(self) -> dict:
         """JSON-friendly dump (used by the /config endpoint and ModelStore)."""
@@ -87,4 +116,7 @@ class MCBoundConfig:
             "beta_days": self.beta_days,
             "embedder_seed": self.embedder_seed,
             "use_idf": self.use_idf,
+            "system": self.system,
+            "predict_memo": self.predict_memo,
+            "train_reservoir": self.train_reservoir,
         }

@@ -75,6 +75,21 @@ class FeatureEncoder:
             cols.append([_format_value(v) for v in trace[f].tolist()])
         return [",".join(vals) for vals in zip(*cols)]
 
+    def feature_strings_from_result(self, result) -> list[str]:
+        """String construction straight off a columnar ``ResultSet``.
+
+        Same strings as :meth:`feature_string` over the equivalent row
+        dicts, without ever materializing the rows — the streaming
+        training path feeds batches through here.
+        """
+        names = set(result.column_names)
+        cols = []
+        for f in self.feature_set:
+            if f not in names:
+                raise KeyError(f"result is missing feature column {f!r}")
+            cols.append([_format_value(v) for v in result.column(f).tolist()])
+        return [",".join(vals) for vals in zip(*cols)]
+
     # -- encoding ---------------------------------------------------------------------
 
     def encode(self, records: Iterable[Mapping]) -> np.ndarray:

@@ -8,6 +8,7 @@ one workflow trigger are reused by later triggers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.mlcore.base import NotFittedError
 from repro.nlp.embedder import SentenceEmbedder
 from repro.sanitizers import StateGuard, check_finite, new_lock
 from repro.storage.engine import SCAN_BATCH_ROWS, Database
+from repro.systems import get_system
 
 __all__ = ["MCBound"]
 
@@ -59,13 +61,23 @@ class MCBound:
                 use_idf=config.use_idf,
             ),
         )
+        #: the registered physical model behind the counter transform
+        self.system = get_system(config.system)
         self.characterizer = JobCharacterizer(
-            config.peak_gflops_node, config.peak_membw_gbs
+            config.peak_gflops_node,
+            config.peak_membw_gbs,
+            counter_transform=self.system.counter_transform(),
         )
         self.store = ModelStore(model_store_root) if model_store_root else None
         self.model: ClassificationModel | None = None
         #: job_id -> ground-truth label, filled by characterization passes
         self.label_cache: dict[int, int] = {}
+        #: submission string -> predicted label; users submit batches of
+        #: identical jobs (§V-C.c), so the serve path memoizes on the raw
+        #: string and skips encoder+forest for repeats.  Guarded by
+        #: _state_lock; invalidated whenever a new model is published.
+        self._predict_memo: OrderedDict[str, int] = OrderedDict()
+        self._memo_model: ClassificationModel | None = None
         # One lock serializes every cross-thread write to model/label_cache:
         # the serving path (per-request threads) races the Training Workflow
         # over both.  Reentrant because train() characterizes under it too.
@@ -100,12 +112,16 @@ class MCBound:
         for batch in self.fetcher.fetch_batches(
             start_time, end_time, batch_rows=batch_rows
         ):
-            job_ids = batch.column("job_id").astype(np.int64, copy=False)
-            labels = self.characterizer.labels_from_result(batch)
-            updates = dict(zip(job_ids.tolist(), (int(v) for v in labels)))
-            with self._state_lock, self._state_guard.writing():
-                self.label_cache.update(updates)
-            yield job_ids, labels
+            yield self._characterize_batch(batch)
+
+    def _characterize_batch(self, batch):
+        """Label one columnar batch; updates the label cache."""
+        job_ids = batch.column("job_id").astype(np.int64, copy=False)
+        labels = self.characterizer.labels_from_result(batch)
+        updates = dict(zip(job_ids.tolist(), (int(v) for v in labels)))
+        with self._state_lock, self._state_guard.writing():
+            self.label_cache.update(updates)
+        return job_ids, labels
 
     def _characterize_records(self, records: list[dict]):
         job_ids = np.array([r["job_id"] for r in records], dtype=np.int64)
@@ -129,26 +145,65 @@ class MCBound:
     # -- training -----------------------------------------------------------------------
 
     def train(self, now: float, *, alpha_days: float | None = None) -> dict:
+        # streaming: fits from a bounded reservoir over columnar batches
+        # scale: -> bounded
         """Run one training pass on the last α days before ``now``.
 
         Returns a summary dict (window, sample count, class balance,
         published version).  Encodings come from the embedder cache when
         the string was seen before.
+
+        The window is consumed batch by batch off the column store —
+        characterize, encode, then fold into a uniform reservoir of at
+        most ``config.train_reservoir`` rows — so training memory is
+        bounded by the reservoir, never the window.  Windows smaller
+        than the reservoir are used whole, in submit order, exactly as
+        the pre-streaming path did.  With ``use_idf`` the IDF table
+        updates per batch (online semantics) rather than once up front.
         """
         alpha = alpha_days if alpha_days is not None else self.config.alpha_days
         start = now - alpha * 86_400.0
-        records = self.fetcher.fetch(start_time=start, end_time=now)
-        if not records:
+        cap = self.config.train_reservoir
+        X_res = np.empty((cap, self.encoder.dim), dtype=np.float32)
+        y_res = np.empty(cap, dtype=np.int64)
+        rng = np.random.default_rng(self.config.embedder_seed)
+        n_seen = 0
+        class_counts: dict[int, int] = {}
+        for batch in self.fetcher.fetch_batches(start, now):
+            _job_ids, labels = self._characterize_batch(batch)
+            labels = np.asarray(labels, dtype=np.int64)
+            strings = self.encoder.feature_strings_from_result(batch)
+            if self.config.use_idf:
+                self.encoder.embedder.partial_fit_idf(strings)
+            Xb = self.encoder.embedder.encode(strings)
+            check_finite("MCBound.train.encodings", Xb)
+            unique, counts = np.unique(labels, return_counts=True)
+            for u, c in zip(unique.tolist(), counts.tolist()):
+                class_counts[int(u)] = class_counts.get(int(u), 0) + int(c)
+            # Vectorized reservoir fold (Algorithm R shape): absolute
+            # stream positions decide admission, so early batches are
+            # not privileged over late ones.
+            positions = n_seen + np.arange(len(labels))
+            fill = positions < cap
+            if np.any(fill):
+                dest = positions[fill]
+                X_res[dest] = Xb[fill]
+                y_res[dest] = labels[fill]
+            rest = ~fill
+            if np.any(rest):
+                slots = rng.integers(0, positions[rest] + 1)
+                hits = slots < cap
+                X_res[slots[hits]] = Xb[rest][hits]
+                y_res[slots[hits]] = labels[rest][hits]
+            n_seen += len(labels)
+        if n_seen == 0:
             raise ValueError(f"no jobs in training window [{start}, {now})")
-        _, labels = self._characterize_records(records)
+        n_fit = min(n_seen, cap)
+        labels = y_res[:n_fit]
         if np.unique(labels).size < 2:
             raise ValueError("training window contains a single class")
-        if self.config.use_idf:
-            self.encoder.partial_fit_idf(records)
-        X = self.encoder.encode(records)
-        check_finite("MCBound.train.encodings", X)
         model = ClassificationModel(self.config.algorithm, **self.config.model_params)
-        model.training(X, labels)
+        model.training(X_res[:n_fit], labels)
         # Fit happened outside the critical section; only the publish of
         # the new model instance happens under the lock.
         with self._state_lock, self._state_guard.writing():
@@ -161,11 +216,10 @@ class MCBound:
                 trained_at=now,
                 window=(start, now),
             )
-        unique, counts = np.unique(labels, return_counts=True)
         return {
             "window": (start, now),
-            "n_jobs": len(records),
-            "class_counts": {int(u): int(c) for u, c in zip(unique, counts)},
+            "n_jobs": n_seen,
+            "class_counts": dict(sorted(class_counts.items())),
             "version": version,
             "algorithm": self.config.algorithm,
         }
@@ -189,13 +243,51 @@ class MCBound:
     # -- inference ------------------------------------------------------------------------
 
     def predict_records(self, records: list[dict]) -> np.ndarray:
-        """Labels for raw submission records (the pre-execution path)."""
+        """Labels for raw submission records (the pre-execution path).
+
+        Keyed on the raw submission string: users submit batches of
+        identical jobs (§V-C.c), so repeats — within one call and across
+        calls — are served from a bounded LRU memo and only distinct
+        misses ever reach the encoder and the model.  Predictions are
+        per-row independent, so the answers are identical to the unmemo
+        path; the memo empties whenever a new model is published.
+        """
         model = self._require_model()
         if not records:
             return np.empty(0, dtype=np.int64)
-        X = self.encoder.encode(records)
-        check_finite("MCBound.predict_records.encodings", X)
-        return np.asarray(model.inference(X), dtype=np.int64)
+        strings = [self.encoder.feature_string(r) for r in records]
+        cap = self.config.predict_memo
+        if cap == 0:
+            X = self.encoder.embedder.encode(strings)
+            check_finite("MCBound.predict_records.encodings", X)
+            return np.asarray(model.inference(X), dtype=np.int64)
+        with self._state_lock:
+            if model is not self._memo_model:
+                self._predict_memo.clear()
+                self._memo_model = model
+            memo = self._predict_memo
+            hits = []
+            for s in strings:
+                label = memo.get(s)
+                if label is not None:
+                    memo.move_to_end(s)
+                hits.append(label)
+        misses = list(dict.fromkeys(s for s, h in zip(strings, hits) if h is None))
+        fresh: dict[str, int] = {}
+        if misses:
+            X = self.encoder.embedder.encode(misses)
+            check_finite("MCBound.predict_records.encodings", X)
+            predicted = np.asarray(model.inference(X), dtype=np.int64)
+            fresh = dict(zip(misses, (int(v) for v in predicted)))
+            with self._state_lock, self._state_guard.writing():
+                if model is self._memo_model:
+                    self._predict_memo.update(fresh)
+                    while len(self._predict_memo) > cap:
+                        self._predict_memo.popitem(last=False)
+        return np.asarray(
+            [h if h is not None else fresh[s] for s, h in zip(strings, hits)],
+            dtype=np.int64,
+        )
 
     def predict_window(self, start_time: float, end_time: float):
         """Predict every job submitted in a window; returns (job_ids, labels)."""

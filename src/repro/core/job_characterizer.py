@@ -71,6 +71,18 @@ class JobCharacterizer:
         self.roofline = Roofline(peak_performance, peak_memory_bandwidth)
         self.counter_transform = counter_transform or FugakuCounterTransform()
 
+    @classmethod
+    def for_system(cls, system) -> "JobCharacterizer":
+        """Characterizer for a registered system model: its peaks, its
+        counter transform (``system`` is any
+        :class:`repro.systems.base.SystemModel`; duck-typed so this
+        module never imports the registry)."""
+        return cls(
+            system.peak_gflops_node,
+            system.peak_membw_gbs,
+            counter_transform=system.counter_transform(),
+        )
+
     @property
     def ridge_point(self) -> float:
         """op_r: minimum operational intensity attaining peak performance."""

@@ -26,6 +26,13 @@ from repro.evaluation.drift import (
     EmbeddingDriftDetector,
     population_stability_index,
 )
+from repro.evaluation.crosssystem import (
+    TransferResult,
+    evaluate_all,
+    evaluate_system,
+    evaluator_for_system,
+    transfer_evaluation,
+)
 from repro.evaluation.timing import Timer, time_call
 from repro.evaluation.reporting import format_table, ascii_series, ascii_heatmap, results_to_csv
 
@@ -41,6 +48,11 @@ __all__ = [
     "AdaptiveRetrainingPolicy",
     "EmbeddingDriftDetector",
     "population_stability_index",
+    "TransferResult",
+    "evaluate_all",
+    "evaluate_system",
+    "evaluator_for_system",
+    "transfer_evaluation",
     "Timer",
     "time_call",
     "format_table",

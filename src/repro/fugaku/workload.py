@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.fugaku.apps import AppArchetype, APP_CATALOG
 from repro.fugaku.counters import counters_from_flops_bytes
-from repro.fugaku.system import FugakuSpec, FUGAKU, NORMAL_MODE_GHZ, BOOST_MODE_GHZ
+from repro.fugaku.system import FugakuSpec, FUGAKU
 from repro.fugaku.trace import JobTrace
 from repro.fugaku.users import UserPopulation, UserProfile
 
@@ -176,7 +176,10 @@ class WorkloadGenerator:
     template-day batch.
     """
 
-    def __init__(self, config: WorkloadConfig | None = None, *, spec: FugakuSpec = FUGAKU) -> None:
+    def __init__(self, config: WorkloadConfig | None = None, *, spec: "FugakuSpec" = FUGAKU) -> None:
+        # ``spec`` is duck-typed: any machine description with the
+        # FugakuSpec surface (peaks, frequencies, counter constants) works,
+        # e.g. repro.systems.spec.MachineSpec for non-Fugaku systems.
         self.config = config or WorkloadConfig()
         self.spec = spec
         self._rng = np.random.default_rng(self.config.seed)
@@ -237,7 +240,10 @@ class WorkloadGenerator:
             # ridge, not the job's actual placement -> Fig 5 decorrelation
             typical_compute = op_mu0 > ridge_log
             boost_p = user.boost_prob_compute if typical_compute else user.boost_prob_memory
-            freq = BOOST_MODE_GHZ if rng.random() < boost_p else NORMAL_MODE_GHZ
+            # frequencies_ghz[-1] is the machine's boost mode, [0] its
+            # normal mode (Fugaku: 2.2 / 2.0 GHz)
+            freqs = self.spec.frequencies_ghz
+            freq = freqs[-1] if rng.random() < boost_p else freqs[0]
             birth = float(rng.uniform(-cfg.template_lifetime_days, cfg.n_days - 1))
             death = birth + float(rng.exponential(cfg.template_lifetime_days))
             n_changes = int(

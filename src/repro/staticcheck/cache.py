@@ -41,8 +41,12 @@ __all__ = ["AnalysisCache", "file_digest"]
 # 7 added the capacity tier (per-file capacity-work counters, cached
 # capacity findings, and the summaries' ``capacity`` table — schema-6
 # entries lack the streaming/return-scale/materializer facts the
-# streaming-contract rule reads, so they must not be served).
-CACHE_SCHEMA = 7
+# streaming-contract rule reads, so they must not be served);
+# 8 added the sysmodel tier (per-file sysmodel-work counters and the
+# summaries' ``sysmodel`` table — schema-7 entries lack the SystemModel
+# hierarchy and flagged-constant facts the contract/leak/dispatch rules
+# read, so they must not be served).
+CACHE_SCHEMA = 8
 
 
 def file_digest(data: bytes) -> str:

@@ -138,6 +138,9 @@ class CheckStats:
     #: capacity-tier effort, same cold-files-only accounting.
     capacity_fixpoints: int = 0
     capacity_streaming: int = 0
+    #: sysmodel-tier effort, same cold-files-only accounting.
+    sysmodel_classes: int = 0
+    sysmodel_specs: int = 0
 
 
 @dataclass
@@ -280,7 +283,7 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
     tuple pickles cheaply across process boundaries; ``None`` means the
     full registry.
     """
-    from repro.staticcheck import capacity, flow, perf, procs
+    from repro.staticcheck import capacity, flow, perf, procs, sysmodel
     from repro.staticcheck.project.summary import build_summary, module_name_for_path
 
     path_str, rule_ids = task
@@ -288,6 +291,7 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
     perf_before = perf.snapshot_counters()
     procs_before = procs.snapshot_counters()
     capacity_before = capacity.snapshot_counters()
+    sysmodel_before = sysmodel.snapshot_counters()
     path = Path(path_str)
     source = path.read_text(encoding="utf-8")
     if rule_ids is None:
@@ -323,6 +327,7 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
     perf_after = perf.snapshot_counters()
     procs_after = procs.snapshot_counters()
     capacity_after = capacity.snapshot_counters()
+    sysmodel_after = sysmodel.snapshot_counters()
     entry.update(
         {
             "findings": [f.to_dict() for f in sorted(active)],
@@ -332,6 +337,7 @@ def _analyze_file(task: tuple[str, tuple[str, ...] | None]) -> dict:
             "perf": {k: perf_after[k] - perf_before[k] for k in perf_after},
             "procs": {k: procs_after[k] - procs_before[k] for k in procs_after},
             "capacity": {k: capacity_after[k] - capacity_before[k] for k in capacity_after},
+            "sysmodel": {k: sysmodel_after[k] - sysmodel_before[k] for k in sysmodel_after},
         }
     )
     return entry
@@ -636,6 +642,7 @@ def check_paths(
     perf_totals = {"hot_functions": 0, "array_fixpoints": 0}
     procs_totals = {"boundaries": 0, "segments": 0}
     capacity_totals = {"scale_fixpoints": 0, "streaming_functions": 0}
+    sysmodel_totals = {"contract_classes": 0, "spec_declarations": 0}
     for key in cold:
         for counter, value in entries[key].get("flow", {}).items():
             flow_totals[counter] = flow_totals.get(counter, 0) + value
@@ -645,6 +652,8 @@ def check_paths(
             procs_totals[counter] = procs_totals.get(counter, 0) + value
         for counter, value in entries[key].get("capacity", {}).items():
             capacity_totals[counter] = capacity_totals.get(counter, 0) + value
+        for counter, value in entries[key].get("sysmodel", {}).items():
+            sysmodel_totals[counter] = sysmodel_totals.get(counter, 0) + value
 
     stats = CheckStats(
         files_checked=len(files),
@@ -662,6 +671,8 @@ def check_paths(
         procs_segments=procs_totals["segments"],
         capacity_fixpoints=capacity_totals["scale_fixpoints"],
         capacity_streaming=capacity_totals["streaming_functions"],
+        sysmodel_classes=sysmodel_totals["contract_classes"],
+        sysmodel_specs=sysmodel_totals["spec_declarations"],
     )
     result = CheckResult(
         findings=sorted(findings),

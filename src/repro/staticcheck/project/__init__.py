@@ -24,6 +24,8 @@ from repro.staticcheck.project.summary import ModuleSummary, build_summary, modu
 from repro.staticcheck.project.taint import TaintedPersistenceRule
 from repro.staticcheck.capacity.contract import StreamingContractRule
 from repro.staticcheck.perf.hotpath import HotPathGapRule
+from repro.staticcheck.sysmodel.contract import SysmodelContractRule
+from repro.staticcheck.sysmodel.leaks import SystemConstantLeakRule, SystemDispatchRule
 from repro.staticcheck.procs.model import ProcessModel
 from repro.staticcheck.procs.rules import (
     BlockingInWorkerRule,
@@ -52,6 +54,9 @@ __all__ = [
     "ProjectContext",
     "SharedMemProtocolRule",
     "StreamingContractRule",
+    "SysmodelContractRule",
+    "SystemConstantLeakRule",
+    "SystemDispatchRule",
     "TaintedPersistenceRule",
     "UnguardedSharedWriteRule",
     "build_summary",

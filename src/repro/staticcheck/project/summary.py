@@ -237,6 +237,10 @@ class ModuleSummary:
     #: materializing returns) for the streaming-contract rule — see
     #: :mod:`repro.staticcheck.capacity.facts`.
     capacity: dict = field(default_factory=dict)
+    #: system-model facts (SystemModel class hierarchy, flagged Fugaku
+    #: constants) for the sysmodel contract rules — see
+    #: :mod:`repro.staticcheck.sysmodel.facts`.
+    sysmodel: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -257,6 +261,7 @@ class ModuleSummary:
             "hotpaths": self.hotpaths,
             "procs": self.procs,
             "capacity": self.capacity,
+            "sysmodel": self.sysmodel,
         }
 
     @classmethod
@@ -281,6 +286,7 @@ class ModuleSummary:
             hotpaths=doc.get("hotpaths", {}),
             procs=doc.get("procs", {}),
             capacity=doc.get("capacity", {}),
+            sysmodel=doc.get("sysmodel", {}),
         )
 
 
@@ -927,10 +933,12 @@ def build_summary(path: str, source: str, tree: ast.Module, module_name: str | N
     from repro.staticcheck.capacity.facts import collect_capacity_facts
     from repro.staticcheck.perf.hotpath import annotated_quals
     from repro.staticcheck.procs.facts import collect_procs_facts
+    from repro.staticcheck.sysmodel.facts import collect_sysmodel_facts
 
     summary.hotpaths = annotated_quals(tree, source)
     collect_procs_facts(summary, tree)
     collect_capacity_facts(summary, tree, source)
+    collect_sysmodel_facts(summary, tree, source)
     summary.directives = [
         {"line": d.line, "rules": sorted(d.rule_ids), "covers": list(d.covers)}
         for d in parse_directives(source)

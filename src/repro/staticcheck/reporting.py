@@ -51,6 +51,8 @@ def render_statistics(stats: CheckStats) -> str:
         f"  procs segments:   {stats.procs_segments}",
         f"  scale fixpoints:  {stats.capacity_fixpoints}",
         f"  streaming defs:   {stats.capacity_streaming}",
+        f"  sysmodel classes: {stats.sysmodel_classes}",
+        f"  sysmodel specs:   {stats.sysmodel_specs}",
     ]
     if stats.findings_per_rule:
         lines.append("  findings by rule:")

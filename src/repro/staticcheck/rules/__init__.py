@@ -28,6 +28,7 @@ from repro.staticcheck.rules.ordering import UnorderedIterationRule
 from repro.staticcheck.rules.picklability import UnpicklableTaskRule
 from repro.staticcheck.rules.randomness import UnseededRngRule
 from repro.staticcheck.rules.timing import WallclockTimingRule
+from repro.staticcheck.sysmodel.dimension import SysmodelDimensionRule
 
 __all__ = [
     "BroadcastMismatchRule",
@@ -47,6 +48,7 @@ __all__ = [
     "ScalarLoopRule",
     "ScaleAmplificationRule",
     "SilentExceptRule",
+    "SysmodelDimensionRule",
     "UnboundedAccumulationRule",
     "UnitMismatchRule",
     "UnorderedIterationRule",

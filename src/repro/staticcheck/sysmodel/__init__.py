@@ -1,0 +1,44 @@
+"""System-model tier: contract analysis for physical-model plugins.
+
+ROADMAP item 3 extracts the physical machine model behind the
+:class:`repro.systems.base.SystemModel` abstraction.  Pulling formulas
+behind an interface is exactly where silent unit bugs and
+Fugaku-constant leaks creep in, so this tier guards the refactor:
+
+* :mod:`repro.staticcheck.sysmodel.facts` — per-module facts on
+  :class:`~repro.staticcheck.project.summary.ModuleSummary.sysmodel`
+  (cache-served): the ``SystemModel`` class hierarchy with per-method
+  signatures and ``# unit:`` def-window annotations, plus every
+  occurrence of a known Fugaku machine constant.
+* :mod:`repro.staticcheck.sysmodel.dimension` — the file-local
+  ``sysmodel-dimension`` rule: declared machine literals must satisfy
+  the roofline invariants (positive peaks, ascending frequency ladder,
+  knee = peak_flops/peak_bw, multi-ceiling knees monotone in
+  frequency).  Unknown never fires: only literals are checked.
+* :mod:`repro.staticcheck.sysmodel.contract` + ``leaks.py`` — the
+  cross-module rules: ``sysmodel-contract`` (every concrete system
+  implements the full contract with matching signatures and ``-> unit``
+  conventions, so the PR 5 unit fixpoint stays sound across the
+  abstraction boundary), ``system-constant-leak`` (Fugaku magic numbers
+  outside the Fugaku model modules) and ``system-dispatch`` (call sites
+  bypassing the registry).
+
+Work counters: :data:`COUNTERS` accumulates analysis effort for the
+CLI's ``--statistics`` (snapshot-and-diff around each file analysis,
+mirroring the flow/perf/procs/capacity tiers).
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTERS", "snapshot_counters"]
+
+#: Process-wide effort counters, surfaced by ``--statistics``:
+#: ``contract_classes`` counts SystemModel-hierarchy classes harvested
+#: during fact extraction, ``spec_declarations`` counts machine-spec /
+#: ceiling declaration sites checked by ``sysmodel-dimension``.
+COUNTERS = {"contract_classes": 0, "spec_declarations": 0}
+
+
+def snapshot_counters() -> dict:
+    """Copy of the current counter values (diff against a later snapshot)."""
+    return dict(COUNTERS)

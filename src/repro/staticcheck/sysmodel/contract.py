@@ -1,0 +1,168 @@
+"""The cross-module ``sysmodel-contract`` project rule.
+
+The :class:`repro.systems.base.SystemModel` ABC is the unit-soundness
+boundary of the system refactor: the PR 5 flops/bytes/seconds fixpoint
+harvests ``# unit:`` method annotations by bare name, so a concrete
+system whose ``flops_from_counters`` is missing, takes different
+parameters, or silently drops the ``-> flops`` convention would poison
+every consumer of the abstraction.  This rule walks the cache-served
+sysmodel facts, reconstructs the SystemModel hierarchy across modules,
+and holds every concrete subclass to the full contract:
+
+* every abstract contract member is implemented (directly or through an
+  intermediate ancestor — the root's own abstract defs never count);
+* implementation signatures match the contract (positional and
+  keyword-only parameter names, ``*args``/``**kwargs`` presence, and
+  property-ness; defaults are free);
+* when the contract member declares a ``# unit:`` def annotation, the
+  implementation repeats it verbatim (whitespace-normalized), so the
+  unit harvest sees one consistent convention per method name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+
+__all__ = ["SysmodelContractRule", "system_class_graph"]
+
+
+def system_class_graph(project) -> tuple[dict, dict]:
+    """Resolve the SystemModel hierarchy across all module summaries.
+
+    Returns ``(roots, hierarchy)``: ``roots`` maps the full name of each
+    class literally named ``SystemModel`` to ``(module, info)``;
+    ``hierarchy`` maps the full name of every class transitively derived
+    from a root to ``(module, class_name, info, parents)`` where
+    ``parents`` lists full names of its in-hierarchy bases.  Base names
+    are matched by bare last component (the summaries record them as
+    written at the ``class`` statement), iterated to a fixpoint so
+    intermediate layers in other modules resolve too.
+    """
+    by_name: dict[str, list[tuple[str, dict]]] = {}
+    for module in sorted(project.summaries):
+        sysmodel = getattr(project.summaries[module], "sysmodel", {}) or {}
+        for cname, info in sysmodel.get("classes", {}).items():
+            by_name.setdefault(cname, []).append((module, info))
+
+    roots = {
+        f"{module}.{cname}": (module, info)
+        for cname, entries in by_name.items()
+        if cname == "SystemModel"
+        for module, info in entries
+    }
+
+    in_hierarchy = {"SystemModel"}
+    hierarchy: dict[str, tuple] = {}
+    changed = True
+    while changed:
+        changed = False
+        for cname, entries in by_name.items():
+            if cname == "SystemModel" or cname in in_hierarchy:
+                continue
+            for module, info in entries:
+                bare_bases = [b.rsplit(".", 1)[-1] for b in info["bases"]]
+                if any(b in in_hierarchy for b in bare_bases):
+                    in_hierarchy.add(cname)
+                    changed = True
+    for cname in sorted(in_hierarchy - {"SystemModel"}):
+        for module, info in by_name.get(cname, []):
+            bare_bases = [b.rsplit(".", 1)[-1] for b in info["bases"]]
+            parents = []
+            for bare in bare_bases:
+                if bare == "SystemModel":
+                    parents.extend(sorted(roots))
+                elif bare in in_hierarchy:
+                    parents.extend(
+                        f"{m}.{bare}" for m, _ in by_name.get(bare, [])
+                    )
+            hierarchy[f"{module}.{cname}"] = (module, cname, info, parents)
+    return roots, hierarchy
+
+
+def _inherited_methods(full: str, hierarchy: dict) -> dict:
+    """Concrete method infos visible on ``full``, nearest ancestor wins."""
+    merged: dict = {}
+    stack = [full]
+    seen = set()
+    while stack:
+        current = stack.pop(0)
+        if current in seen or current not in hierarchy:
+            continue
+        seen.add(current)
+        _module, _cname, info, parents = hierarchy[current]
+        for name, method in info["methods"].items():
+            if not method["is_abstract"] and name not in merged:
+                merged[name] = method
+        stack.extend(parents)
+    return merged
+
+
+@register_project
+class SysmodelContractRule(ProjectRule):
+    id = "sysmodel-contract"
+    description = (
+        "a concrete SystemModel subclass misses a contract member, "
+        "changes its signature, or drops its # unit: return convention"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        roots, hierarchy = system_class_graph(project)
+        contract: dict = {}
+        for _root, (_module, info) in sorted(roots.items()):
+            for name, method in info["methods"].items():
+                if method["is_abstract"]:
+                    contract.setdefault(name, method)
+        if not contract:
+            return
+
+        for full in sorted(hierarchy):
+            module, cname, info, _parents = hierarchy[full]
+            if info["abstract"]:
+                continue
+            path = project.summaries[module].path
+            implemented = _inherited_methods(full, hierarchy)
+            for name in sorted(contract):
+                spec = contract[name]
+                impl = implemented.get(name)
+                if impl is None:
+                    yield self.finding(
+                        path,
+                        info["line"],
+                        f"'{cname}' does not implement SystemModel contract "
+                        f"member '{name}'",
+                    )
+                    continue
+                mismatches = []
+                if impl["args"] != spec["args"]:
+                    mismatches.append(
+                        f"positional parameters {impl['args']} != {spec['args']}"
+                    )
+                if impl["kwonly"] != spec["kwonly"]:
+                    mismatches.append(
+                        f"keyword-only parameters {impl['kwonly']} != {spec['kwonly']}"
+                    )
+                if impl["vararg"] != spec["vararg"] or impl["kwarg"] != spec["kwarg"]:
+                    mismatches.append("*args/**kwargs presence differs")
+                if impl["is_property"] != spec["is_property"]:
+                    mismatches.append(
+                        "property-ness differs from the contract"
+                    )
+                for mismatch in mismatches:
+                    yield self.finding(
+                        path,
+                        impl["line"],
+                        f"'{cname}.{name}' does not match the SystemModel "
+                        f"contract: {mismatch}",
+                    )
+                if spec["unit"] is not None and impl["unit"] != spec["unit"]:
+                    yield self.finding(
+                        path,
+                        impl["line"],
+                        f"'{cname}.{name}' must repeat the contract's unit "
+                        f"annotation '# unit: {spec['unit']}' so the unit "
+                        "fixpoint stays sound across the abstraction "
+                        f"boundary (found: {impl['unit'] or 'none'})",
+                    )

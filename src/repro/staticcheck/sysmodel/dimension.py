@@ -1,0 +1,175 @@
+"""``sysmodel-dimension``: declared machine literals vs roofline invariants.
+
+A machine spec is a bundle of physical claims: peaks are positive, the
+frequency ladder ascends, the knee is ``peak_flops / peak_bw``, and the
+per-frequency knee ladder is monotone (a higher clock cannot lower the
+attainable peak — the ``compute-budget-VS-bandwidth-budget`` invariant
+behind :mod:`repro.roofline.multiceiling`).  The runtime validators in
+:class:`repro.systems.spec.MachineSpec` enforce these when a spec is
+*constructed*; this rule checks the declared **literals** statically, so
+a bad synthetic-system declaration fails lint before any test imports
+it.  Deliberately literal-anchored: computed values never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.sysmodel import COUNTERS
+
+__all__ = ["SysmodelDimensionRule"]
+
+#: Relative tolerance for a declared ridge/knee vs peak_flops/peak_bw.
+_RIDGE_RTOL = 1e-9
+
+
+def _literal_number(node: ast.expr) -> float | None:
+    """Numeric value of a literal (incl. unary minus), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and type(node.value) in (int, float):
+        return float(node.value)
+    return None
+
+
+def _literal_tuple(node: ast.expr) -> list[float] | None:
+    """Values of a flat literal tuple/list of numbers, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values = [_literal_number(e) for e in node.elts]
+    if any(v is None for v in values):
+        return None
+    return values  # type: ignore[return-value]
+
+
+def _literal_pairs(node: ast.expr) -> list[tuple[float, float]] | None:
+    """Values of a literal tuple of numeric pairs, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    pairs = []
+    for e in node.elts:
+        pair = _literal_tuple(e)
+        if pair is None or len(pair) != 2:
+            return None
+        pairs.append((pair[0], pair[1]))
+    return pairs
+
+
+def _is_spec_callee(name: str | None) -> bool:
+    return name is not None and name.rsplit(".", 1)[-1].endswith("Spec")
+
+
+@register
+class SysmodelDimensionRule(Rule):
+    id = "sysmodel-dimension"
+    description = (
+        "a machine-spec or ceiling declaration violates a roofline "
+        "invariant (non-positive peak, non-ascending frequencies, "
+        "non-monotone knee ladder, or knee != peak_flops/peak_bw)"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                callee = module.dotted_name(node.func)
+                if _is_spec_callee(callee):
+                    COUNTERS["spec_declarations"] += 1
+                    fields = {
+                        kw.arg: kw.value for kw in node.keywords if kw.arg is not None
+                    }
+                    yield from self._check_fields(module, fields)
+                elif callee is not None and callee.rsplit(".", 1)[-1] == "Ceiling":
+                    COUNTERS["spec_declarations"] += 1
+                    yield from self._check_ceiling(module, node)
+            elif isinstance(node, ast.ClassDef) and node.name.endswith("Spec"):
+                COUNTERS["spec_declarations"] += 1
+                fields = {
+                    stmt.target.id: stmt.value
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.value is not None
+                }
+                yield from self._check_fields(module, fields)
+
+    def _check_ceiling(self, module, node: ast.Call) -> Iterator[Finding]:
+        peak = None
+        if len(node.args) >= 2:
+            peak = _literal_number(node.args[1])
+        for kw in node.keywords:
+            if kw.arg == "peak_gbs":
+                peak = _literal_number(kw.value)
+        if peak is not None and peak <= 0:
+            yield self.finding(
+                module, node, "ceiling bandwidth must be a positive literal"
+            )
+
+    def _check_fields(self, module, fields: dict[str, ast.expr]) -> Iterator[Finding]:
+        peaks: dict[str, float] = {}
+        for name in sorted(fields):
+            value = fields[name]
+            if name.startswith("peak_"):
+                number = _literal_number(value)
+                if number is None:
+                    continue
+                peaks[name] = number
+                if number <= 0:
+                    yield self.finding(
+                        module,
+                        value,
+                        f"declared peak '{name}' must be positive "
+                        "(roofline ceilings are positive)",
+                    )
+            elif name == "frequencies_ghz":
+                ladder = _literal_tuple(value)
+                if ladder is not None and any(
+                    b <= a for a, b in zip(ladder, ladder[1:])
+                ):
+                    yield self.finding(
+                        module,
+                        value,
+                        "frequencies_ghz must be strictly ascending "
+                        "(last entry is the boost mode)",
+                    )
+            elif name == "frequency_peaks":
+                pairs = _literal_pairs(value)
+                if pairs is None:
+                    continue
+                freqs = [f for f, _ in pairs]
+                knees = [p for _, p in pairs]
+                if any(b <= a for a, b in zip(freqs, freqs[1:])) or any(
+                    b < a for a, b in zip(knees, knees[1:])
+                ):
+                    yield self.finding(
+                        module,
+                        value,
+                        "multi-ceiling knees must be monotone in frequency: "
+                        "a higher clock cannot lower the attainable peak",
+                    )
+                if any(p <= 0 for p in knees):
+                    yield self.finding(
+                        module, value, "per-frequency peaks must be positive"
+                    )
+        flops = [v for k, v in peaks.items() if "gflops" in k or "flops" in k]
+        bandwidth = [v for k, v in peaks.items() if "membw" in k or "bw" in k]
+        for name in ("ridge_point", "knee", "op_r"):
+            declared = _literal_number(fields[name]) if name in fields else None
+            if declared is None or len(flops) != 1 or len(bandwidth) != 1:
+                continue
+            if bandwidth[0] <= 0:
+                continue
+            expected = flops[0] / bandwidth[0]
+            if abs(declared - expected) > _RIDGE_RTOL * max(abs(expected), 1.0):
+                yield self.finding(
+                    module,
+                    fields[name],
+                    f"declared '{name}' ({declared:g}) disagrees with "
+                    f"peak_flops/peak_bw ({expected:g}); the knee is not a "
+                    "free parameter",
+                )

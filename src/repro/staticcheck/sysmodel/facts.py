@@ -1,0 +1,140 @@
+"""Per-module system-model facts for the cross-module contract rules.
+
+Extracted once per cold file during summary building and serialized on
+:class:`~repro.staticcheck.project.summary.ModuleSummary.sysmodel`, so
+the incremental cache serves them without re-parsing.  Two tables:
+
+* ``classes`` — every class in a module that mentions ``SystemModel``:
+  base names plus per-method signatures, decorator flags and the raw
+  ``# unit:`` def-window annotation, for the ``sysmodel-contract``
+  conformance check through the ABC.
+* ``constants`` — occurrences of known Fugaku machine constants
+  (Table I peaks, the A64FX counter names, 2.2e9-style clock literals),
+  for the ``system-constant-leak`` rule.  Matching is exact-literal
+  equality, so a docstring *mentioning* a counter name (one long string
+  constant) or an unrelated integer ``1024`` never matches the float
+  ``1024.0``.
+
+Modules with neither contribute nothing — their summaries stay exactly
+as small as before this tier existed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.capacity.dataflow import def_window_annotation
+from repro.staticcheck.perf.arrays import tagged_comments
+from repro.staticcheck.sysmodel import COUNTERS
+
+__all__ = ["collect_sysmodel_facts", "FLAGGED_FLOATS", "FLAGGED_INTS", "FLAGGED_NAMES"]
+
+#: Fugaku machine constants (Table I + A64FX clocks) that must not leak
+#: outside the Fugaku model modules: node peak GFlops/s, HBM2 GB/s,
+#: system peak PFlops/s, and the 2.0/2.2/2.7 GHz clocks in Hz.
+FLAGGED_FLOATS = (3380.0, 1024.0, 537.0, 2.0e9, 2.2e9, 2.7e9)
+#: Fugaku's node count.
+FLAGGED_INTS = (158_976,)
+#: A64FX PMU event names (Eq. 4/5 inputs).
+FLAGGED_NAMES = frozenset(
+    {"FP_FIXED_OPS_SPEC", "FP_SCALE_OPS_SPEC", "BUS_READ_TOTAL_MEM", "BUS_WRITE_TOTAL_MEM"}
+)
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_flagged_constant(value: object) -> bool:
+    if isinstance(value, float):
+        return any(value == flagged for flagged in FLAGGED_FLOATS)
+    if type(value) is int:
+        return value in FLAGGED_INTS
+    if isinstance(value, str):
+        return value in FLAGGED_NAMES
+    return False
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = _dotted(target)
+        if dotted is not None:
+            names.add(dotted.rsplit(".", 1)[-1])
+    return names
+
+
+def _method_info(node: ast.FunctionDef | ast.AsyncFunctionDef, unit_lines: dict) -> dict:
+    decorators = _decorator_names(node)
+    args = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if args and args[0] in {"self", "cls"}:
+        args = args[1:]
+    raw = def_window_annotation(node, unit_lines)
+    return {
+        "line": node.lineno,
+        "args": args,
+        "kwonly": sorted(a.arg for a in node.args.kwonlyargs),
+        "vararg": node.args.vararg is not None,
+        "kwarg": node.args.kwarg is not None,
+        "is_property": bool(decorators & {"property", "cached_property"}),
+        "is_abstract": bool(decorators & {"abstractmethod", "abstractproperty"}),
+        "unit": " ".join(raw.split()) if raw is not None else None,
+    }
+
+
+def _class_info(node: ast.ClassDef, unit_lines: dict) -> dict:
+    methods: dict = {}
+    abstract = False
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _method_info(stmt, unit_lines)
+            methods[stmt.name] = info
+            abstract = abstract or info["is_abstract"]
+    return {
+        "line": node.lineno,
+        "bases": [d for d in (_dotted(b) for b in node.bases) if d is not None],
+        "abstract": abstract,
+        "methods": methods,
+    }
+
+
+def collect_sysmodel_facts(summary, tree: ast.Module, source: str) -> None:
+    """Populate ``summary.sysmodel`` from one parsed module."""
+    facts: dict = {}
+
+    constants = [
+        {"line": node.lineno, "value": repr(node.value)}
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and _is_flagged_constant(node.value)
+    ]
+    if constants:
+        facts["constants"] = constants
+
+    if "SystemModel" in source:
+        unit_lines = tagged_comments(source, "unit")
+        # Only classes with bases can sit in the hierarchy (the root
+        # itself derives from abc.ABC); the contract rule resolves the
+        # actual SystemModel ancestry transitively across modules.
+        classes = {
+            stmt.name: info
+            for stmt in tree.body
+            if isinstance(stmt, ast.ClassDef)
+            for info in (_class_info(stmt, unit_lines),)
+            if stmt.name == "SystemModel" or info["bases"]
+        }
+        if classes:
+            COUNTERS["contract_classes"] += len(classes)
+            facts["classes"] = classes
+
+    if facts:
+        summary.sysmodel = facts

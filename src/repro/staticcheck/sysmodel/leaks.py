@@ -1,0 +1,100 @@
+"""``system-constant-leak`` and ``system-dispatch``: keeping Fugaku in its box.
+
+The whole point of the system refactor is that nothing outside the
+Fugaku model modules knows Fugaku's numbers.  Two cross-module rules
+hold that line:
+
+* ``system-constant-leak`` — any occurrence of a known Fugaku machine
+  constant (Table I peaks, A64FX counter names, 2.2e9-style clock
+  literals; see :data:`repro.staticcheck.sysmodel.facts.FLAGGED_FLOATS`)
+  outside the modules that *define* the Fugaku model.  A leaked
+  ``3380.0`` works until the first non-Fugaku deployment, then silently
+  misclassifies every job.
+* ``system-dispatch`` — a call site that names a concrete system class
+  directly instead of resolving it through
+  :func:`repro.systems.registry.get_system`.  Bypassing the registry
+  re-hardwires the very coupling the abstraction removed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.registry import ProjectRule, register_project
+from repro.staticcheck.sysmodel.contract import system_class_graph
+
+__all__ = ["SystemConstantLeakRule", "SystemDispatchRule"]
+
+#: Modules allowed to spell Fugaku constants: the two defining modules,
+#: the registry adapter that documents them, and the fact extractor
+#: that must list them to find them anywhere else.
+_ALLOWED_MODULES = frozenset(
+    {
+        "repro.fugaku.system",
+        "repro.fugaku.counters",
+        "repro.systems.fugaku",
+        "repro.staticcheck.sysmodel.facts",
+    }
+)
+
+
+@register_project
+class SystemConstantLeakRule(ProjectRule):
+    id = "system-constant-leak"
+    description = (
+        "a Fugaku machine constant (Table I peak, A64FX counter name, "
+        "clock literal) is spelled outside the Fugaku model modules"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        for module in sorted(project.summaries):
+            if module in _ALLOWED_MODULES:
+                continue
+            summary = project.summaries[module]
+            sysmodel = getattr(summary, "sysmodel", {}) or {}
+            for entry in sysmodel.get("constants", []):
+                yield self.finding(
+                    summary.path,
+                    entry["line"],
+                    f"Fugaku machine constant {entry['value']} referenced "
+                    "outside the Fugaku system model; take it from the "
+                    "system registry (repro.systems.get_system) instead",
+                )
+
+
+@register_project
+class SystemDispatchRule(ProjectRule):
+    id = "system-dispatch"
+    description = (
+        "a call site constructs a concrete system class directly, "
+        "bypassing the repro.systems registry"
+    )
+
+    def check(self, project) -> Iterator[Finding]:
+        _roots, hierarchy = system_class_graph(project)
+        homes: dict[str, set] = {}
+        for _full, (module, cname, info, _parents) in hierarchy.items():
+            if not info["abstract"]:
+                homes.setdefault(cname, set()).add(module)
+        if not homes:
+            return
+
+        for module in sorted(project.summaries):
+            # The registry itself instantiates by design.
+            if module.rsplit(".", 1)[-1] == "registry":
+                continue
+            summary = project.summaries[module]
+            witnesses: dict[str, int] = {}
+            for call in summary.calls:
+                bare = call["callee"].rsplit(".", 1)[-1]
+                if bare in homes and module not in homes[bare]:
+                    if bare not in witnesses or call["line"] < witnesses[bare]:
+                        witnesses[bare] = call["line"]
+            for bare in sorted(witnesses):
+                yield self.finding(
+                    summary.path,
+                    witnesses[bare],
+                    f"direct construction of system '{bare}' bypasses "
+                    "the registry; resolve it via repro.systems.get_system(...)",
+                )

@@ -113,3 +113,107 @@ class TestCharacterization:
         # DB returns jobs ordered by submit time, same as the trace slice
         assert np.array_equal(np.sort(ids), np.sort(sub["job_id"]))
         assert np.array_equal(labels, expected)
+
+
+class TestPredictMemo:
+    """The §V-C.c serve-path memo: batches of identical jobs hit the LRU."""
+
+    def test_memo_matches_the_unmemoized_path(self, tiny_trace, now):
+        memo_fw = make_framework(tiny_trace)
+        plain_fw = make_framework(tiny_trace, predict_memo=0)
+        memo_fw.train(now, alpha_days=20)
+        plain_fw.train(now, alpha_days=20)
+        records = memo_fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        expected = plain_fw.predict_records(records)
+        # twice: the second call is served from the memo
+        first = memo_fw.predict_records(records)
+        second = memo_fw.predict_records(records)
+        assert np.array_equal(first, expected)
+        assert np.array_equal(second, expected)
+        assert len(memo_fw._predict_memo) > 0
+
+    def test_repeats_within_a_call_encode_once(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=20)
+        records = fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        batch = [records[0]] * 5 + [records[1]] * 3
+        labels = fw.predict_records(batch)
+        assert np.unique(labels[:5]).size == 1
+        assert np.unique(labels[5:]).size == 1
+        # only the distinct submissions were memoized
+        distinct = {fw.encoder.feature_string(r) for r in batch}
+        assert set(fw._predict_memo) == distinct
+
+    def test_memo_is_bounded(self, tiny_trace, now):
+        fw = make_framework(tiny_trace, predict_memo=2)
+        fw.train(now, alpha_days=20)
+        records = fw.fetcher.fetch(start_time=now, end_time=now + 2 * DAY_SECONDS)
+        assert len({fw.encoder.feature_string(r) for r in records}) > 2
+        fw.predict_records(records)
+        assert len(fw._predict_memo) <= 2
+
+    def test_new_model_invalidates_the_memo(self, tiny_trace, now):
+        fw = make_framework(tiny_trace)
+        fw.train(now, alpha_days=20)
+        records = fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        fw.predict_records(records)
+        assert fw._memo_model is fw.model
+        stale = fw.model
+        fw.train(now + DAY_SECONDS, alpha_days=20)
+        assert fw.model is not stale
+        labels = fw.predict_records(records)
+        assert fw._memo_model is fw.model
+        plain = make_framework(tiny_trace, predict_memo=0)
+        plain.train(now + DAY_SECONDS, alpha_days=20)
+        assert np.array_equal(labels, plain.predict_records(records))
+
+    def test_cap_zero_disables_the_memo(self, tiny_trace, now):
+        fw = make_framework(tiny_trace, predict_memo=0)
+        fw.train(now, alpha_days=20)
+        records = fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        fw.predict_records(records)
+        assert len(fw._predict_memo) == 0
+
+
+class TestStreamingTrain:
+    """train() folds batches into a bounded reservoir (# streaming:)."""
+
+    def test_small_window_matches_materialized_fit(self, tiny_trace, now):
+        """Windows under the reservoir use every row in submit order, so
+        the streamed fit equals a manual fit on the materialized window."""
+        from repro.core.classification_model import ClassificationModel
+
+        fw = make_framework(tiny_trace)
+        summary = fw.train(now, alpha_days=20)
+        start = now - 20 * DAY_SECONDS
+        records = fw.fetcher.fetch(start_time=start, end_time=now)
+        assert summary["n_jobs"] == len(records) <= fw.config.train_reservoir
+        ref = make_framework(tiny_trace, predict_memo=0)
+        strings = [ref.encoder.feature_string(r) for r in records]
+        X = ref.encoder.embedder.encode(strings)
+        y = ref.characterizer.labels_from_records(records)
+        manual = ClassificationModel(
+            fw.config.algorithm, **fw.config.model_params
+        )
+        manual.training(X, y)
+        test = fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        Xt = ref.encoder.embedder.encode(
+            [ref.encoder.feature_string(r) for r in test]
+        )
+        assert np.array_equal(
+            fw.predict_records(test), np.asarray(manual.inference(Xt))
+        )
+
+    def test_reservoir_bounds_the_fit(self, tiny_trace, now):
+        fw = make_framework(tiny_trace, train_reservoir=50)
+        summary = fw.train(now, alpha_days=30)
+        assert summary["n_jobs"] > 50  # the window really exceeded the cap
+        assert fw.model is not None
+        records = fw.fetcher.fetch(start_time=now, end_time=now + DAY_SECONDS)
+        labels = fw.predict_records(records)
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_class_counts_cover_the_whole_window(self, tiny_trace, now):
+        fw = make_framework(tiny_trace, train_reservoir=50)
+        summary = fw.train(now, alpha_days=30)
+        assert sum(summary["class_counts"].values()) == summary["n_jobs"]

@@ -51,11 +51,13 @@ class TestHTTPBoundary:
 
     def test_single_class_window_is_409(self, tiny_trace, monkeypatch):
         fw = make_fw(tiny_trace)
-        # force every label to memory-bound for this window
+        # force every label to memory-bound for this window (training
+        # streams through _characterize_batch)
         monkeypatch.setattr(
-            fw, "_characterize_records",
-            lambda records: (
-                np.arange(len(records)), np.zeros(len(records), dtype=np.int64)
+            fw, "_characterize_batch",
+            lambda batch: (
+                batch.column("job_id").astype(np.int64),
+                np.zeros(len(batch.column("job_id")), dtype=np.int64),
             ),
         )
         client = TestClient(build_app(fw))

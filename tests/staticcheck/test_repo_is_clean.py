@@ -73,6 +73,18 @@ def test_seeded_flow_violation_is_caught(tmp_path):
     assert result.findings[0].line == 3
 
 
+def test_sysmodel_rules_were_active():
+    """The gate holds the SystemModel plugin contract: conformance and
+    unit conventions across the abstraction boundary, Fugaku constants
+    confined to the Fugaku model modules, and registry-only dispatch."""
+    assert {r.id for r in resolve_project_rules()} >= {
+        "sysmodel-contract",
+        "system-constant-leak",
+        "system-dispatch",
+    }
+    assert "sysmodel-dimension" in {r.id for r in resolve_rules()}
+
+
 def test_seeded_violation_is_caught(tmp_path):
     """End-to-end: the gate actually bites on a real violation."""
     bad = tmp_path / "regression.py"

@@ -1,0 +1,370 @@
+"""Sysmodel-tier rules: the SystemModel contract held statically.
+
+Each rule gets an exactly-one-finding fixture (checked in the findings
+list, the JSON render and the SARIF render) plus a clean sibling one
+edit away.  The cross-module rules (``sysmodel-contract``,
+``system-constant-leak``, ``system-dispatch``) run over multi-file
+package fixtures through ``check_paths``; the warm-cache test pins the
+schema-8 point that sysmodel facts ride in cached summaries and the
+counters stay zero on warm runs.  Two seeded end-to-end tests mirror
+the repo gate: a unit-wrong counter formula and a leaked Fugaku
+constant each produce exactly one finding under the default rule set.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.staticcheck import (
+    check_paths,
+    check_source,
+    render_json,
+    render_sarif,
+    resolve_project_rules,
+    resolve_rules,
+)
+from repro.staticcheck.reporting import render_statistics
+from repro.staticcheck.sysmodel.contract import SysmodelContractRule
+from repro.staticcheck.sysmodel.facts import (
+    FLAGGED_FLOATS,
+    FLAGGED_INTS,
+    FLAGGED_NAMES,
+)
+from repro.staticcheck.sysmodel.leaks import SystemConstantLeakRule, SystemDispatchRule
+
+
+def run_dimension(source, path="snippet.py"):
+    return check_source(
+        textwrap.dedent(source),
+        path=path,
+        rules=resolve_rules(select=["sysmodel-dimension"]),
+    )
+
+
+#: a spec declaration with a negative peak (line 4): the single finding.
+NEGATIVE_PEAK = """\
+SPEC = MachineSpec(
+    name="m",
+    peak_gflops_node=-100.0,
+    peak_membw_gbs=50.0,
+    frequencies_ghz=(2.0, 2.2),
+)
+"""
+
+CLEAN_SPEC = NEGATIVE_PEAK.replace("-100.0", "100.0")
+
+
+class TestDimensionRule:
+    def test_negative_peak_is_one_finding(self):
+        result = run_dimension(NEGATIVE_PEAK)
+        assert [(f.rule_id, f.line) for f in result.findings] == [
+            ("sysmodel-dimension", 3)
+        ]
+        assert "must be positive" in result.findings[0].message
+
+    def test_clean_sibling_is_silent(self):
+        assert run_dimension(CLEAN_SPEC).findings == []
+
+    def test_json_render_carries_the_finding(self):
+        doc = json.loads(render_json(run_dimension(NEGATIVE_PEAK)))
+        assert [(f["rule"], f["line"]) for f in doc["findings"]] == [
+            ("sysmodel-dimension", 3)
+        ]
+
+    def test_sarif_render_carries_the_finding(self):
+        doc = json.loads(render_sarif(run_dimension(NEGATIVE_PEAK)))
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["ruleId"] == "sysmodel-dimension"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+
+    def test_non_ascending_frequencies(self):
+        src = CLEAN_SPEC.replace("(2.0, 2.2)", "(2.2, 2.0)")
+        assert [f.rule_id for f in run_dimension(src).findings] == [
+            "sysmodel-dimension"
+        ]
+
+    def test_non_monotone_knee_ladder(self):
+        src = """\
+        SPEC = MachineSpec(
+            name="m",
+            frequency_peaks=((2.0, 3072.0), (2.2, 3000.0)),
+        )
+        """
+        rows = run_dimension(src).findings
+        assert [f.rule_id for f in rows] == ["sysmodel-dimension"]
+        assert "monotone in frequency" in rows[0].message
+
+    def test_declared_knee_must_match_the_ratio(self):
+        src = """\
+        SPEC = MachineSpec(
+            name="m",
+            peak_gflops_node=3380.0,
+            peak_membw_gbs=1024.0,
+            ridge_point=3.5,
+        )
+        """
+        rows = run_dimension(src).findings
+        assert [f.rule_id for f in rows] == ["sysmodel-dimension"]
+        assert "not a free parameter" in rows[0].message
+
+    def test_consistent_knee_is_silent(self):
+        src = """\
+        SPEC = MachineSpec(
+            name="m",
+            peak_gflops_node=3380.0,
+            peak_membw_gbs=1024.0,
+            ridge_point=3.30078125,
+        )
+        """
+        assert run_dimension(src).findings == []
+
+    def test_non_positive_ceiling(self):
+        src = 'LIMIT = Ceiling("hbm2", -1024.0)\n'
+        rows = run_dimension(src).findings
+        assert [f.rule_id for f in rows] == ["sysmodel-dimension"]
+
+    def test_suppression_is_honoured(self):
+        src = NEGATIVE_PEAK.replace(
+            "peak_gflops_node=-100.0,",
+            "peak_gflops_node=-100.0,  # staticcheck: ignore[sysmodel-dimension] - negative sentinel",
+        )
+        result = run_dimension(src)
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["sysmodel-dimension"]
+
+
+BASE_MODULE = """\
+import abc
+
+
+class SystemModel(abc.ABC):
+    @abc.abstractmethod
+    def flops_from_counters(self, perf2, perf3):  # unit: perf2=flops, perf3=flops -> flops
+        ...
+
+    @abc.abstractmethod
+    def ceilings(self):
+        ...
+"""
+
+FULL_IMPL = """\
+from pkg.base import SystemModel
+
+
+class TinySystem(SystemModel):
+    def flops_from_counters(self, perf2, perf3):  # unit: perf2=flops, perf3=flops -> flops
+        return perf2 + perf3
+
+    def ceilings(self):
+        return ()
+"""
+
+
+class TestContractRule:
+    def write_pkg(self, tmp_path, impl):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "base.py").write_text(BASE_MODULE)
+        (pkg / "impl.py").write_text(textwrap.dedent(impl))
+        return pkg
+
+    def check(self, pkg):
+        result = check_paths([pkg], rules=[], project_rules=[SysmodelContractRule()])
+        return [(f.rule_id, f.line, f.message) for f in result.findings]
+
+    def test_full_implementation_is_clean(self, tmp_path):
+        assert self.check(self.write_pkg(tmp_path, FULL_IMPL)) == []
+
+    def test_missing_member_is_one_finding(self, tmp_path):
+        impl = FULL_IMPL.replace("    def ceilings(self):\n        return ()\n", "")
+        rows = self.check(self.write_pkg(tmp_path, impl))
+        assert len(rows) == 1
+        rule, line, message = rows[0]
+        assert rule == "sysmodel-contract"
+        assert line == 4  # the class statement
+        assert "does not implement SystemModel contract member 'ceilings'" in message
+
+    def test_signature_drift_is_one_finding(self, tmp_path):
+        impl = FULL_IMPL.replace(
+            "def flops_from_counters(self, perf2, perf3):",
+            "def flops_from_counters(self, p2, p3):",
+        )
+        rows = self.check(self.write_pkg(tmp_path, impl))
+        assert len(rows) == 1
+        assert rows[0][0] == "sysmodel-contract"
+        assert "positional parameters" in rows[0][2]
+
+    def test_dropped_unit_annotation_is_one_finding(self, tmp_path):
+        impl = FULL_IMPL.replace(
+            "def flops_from_counters(self, perf2, perf3):  # unit: perf2=flops, perf3=flops -> flops",
+            "def flops_from_counters(self, perf2, perf3):",
+        )
+        rows = self.check(self.write_pkg(tmp_path, impl))
+        assert len(rows) == 1
+        assert "must repeat the contract's unit annotation" in rows[0][2]
+
+    def test_abstract_intermediate_is_not_held_to_the_contract(self, tmp_path):
+        impl = """\
+        import abc
+
+        from pkg.base import SystemModel
+
+
+        class PartialSystem(SystemModel):
+            @abc.abstractmethod
+            def workload_config(self):
+                ...
+        """
+        assert self.check(self.write_pkg(tmp_path, impl)) == []
+
+
+class TestLeakAndDispatchRules:
+    def test_leaked_constant_is_one_finding(self, tmp_path):
+        (tmp_path / "sched.py").write_text("PEAK_GFLOPS = 3380.0\n")
+        result = check_paths(
+            [tmp_path], rules=[], project_rules=[SystemConstantLeakRule()]
+        )
+        assert [(f.rule_id, f.line) for f in result.findings] == [
+            ("system-constant-leak", 1)
+        ]
+        assert "3380.0" in result.findings[0].message
+
+    def test_leaked_counter_name_is_one_finding(self, tmp_path):
+        (tmp_path / "events.py").write_text('EVENT = "FP_FIXED_OPS_SPEC"\n')
+        result = check_paths(
+            [tmp_path], rules=[], project_rules=[SystemConstantLeakRule()]
+        )
+        assert [f.rule_id for f in result.findings] == ["system-constant-leak"]
+
+    def test_unflagged_constant_is_silent(self, tmp_path):
+        (tmp_path / "sched.py").write_text("PEAK_GFLOPS = 3381.0\nN = 1024\n")
+        result = check_paths(
+            [tmp_path], rules=[], project_rules=[SystemConstantLeakRule()]
+        )
+        assert result.findings == []
+
+    def write_dispatch_pkg(self, tmp_path, app_source):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "base.py").write_text(BASE_MODULE)
+        (pkg / "impl.py").write_text(FULL_IMPL)
+        (pkg / "app.py").write_text(textwrap.dedent(app_source))
+        return pkg
+
+    def test_direct_construction_is_one_finding(self, tmp_path):
+        pkg = self.write_dispatch_pkg(
+            tmp_path,
+            """\
+            from pkg.impl import TinySystem
+
+
+            def build():
+                return TinySystem()
+            """,
+        )
+        result = check_paths([pkg], rules=[], project_rules=[SystemDispatchRule()])
+        assert [(f.rule_id, f.line) for f in result.findings] == [
+            ("system-dispatch", 5)
+        ]
+        assert "bypasses the registry" in result.findings[0].message
+
+    def test_registry_resolution_is_silent(self, tmp_path):
+        pkg = self.write_dispatch_pkg(
+            tmp_path,
+            """\
+            from pkg.registry import get_system
+
+
+            def build():
+                return get_system("tiny")
+            """,
+        )
+        (pkg / "registry.py").write_text(
+            "def get_system(name):\n    return None\n"
+        )
+        result = check_paths([pkg], rules=[], project_rules=[SystemDispatchRule()])
+        assert result.findings == []
+
+
+class TestCacheAndStats:
+    def test_sysmodel_facts_survive_a_warm_cache(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "base.py").write_text(BASE_MODULE)
+        impl = FULL_IMPL.replace("    def ceilings(self):\n        return ()\n", "")
+        (pkg / "impl.py").write_text(impl)
+        cache = tmp_path / "cache.json"
+
+        def go():
+            return check_paths(
+                [pkg],
+                rules=[],
+                project_rules=[SysmodelContractRule()],
+                cache_path=cache,
+            )
+
+        cold, warm = go(), go()
+        assert [(f.rule_id, f.line) for f in warm.findings] == [
+            (f.rule_id, f.line) for f in cold.findings
+        ]
+        assert len(warm.findings) == 1
+        assert warm.stats.cache_misses == 0
+        # warm runs serve sysmodel facts from the cache: zero tier work
+        assert warm.stats.sysmodel_classes == 0
+        assert warm.stats.sysmodel_specs == 0
+        assert cold.stats.sysmodel_classes > 0
+
+    def test_spec_counter_flows_into_stats(self, tmp_path):
+        (tmp_path / "m.py").write_text(CLEAN_SPEC)
+        result = check_paths(
+            [tmp_path],
+            rules=resolve_rules(select=["sysmodel-dimension"]),
+            project_rules=[],
+        )
+        assert result.stats.sysmodel_specs == 1
+        text = render_statistics(result.stats)
+        assert "sysmodel classes:" in text
+        assert "sysmodel specs:" in text
+
+
+class TestSeededEndToEnd:
+    """The acceptance fixtures: default rule set, exactly one finding."""
+
+    def test_seeded_unit_wrong_formula_is_caught(self, tmp_path):
+        # a counter formula annotated -> bytes that computes flops: the
+        # unit fixpoint must flag it through the method annotation
+        bad = tmp_path / "model.py"
+        bad.write_text(
+            "def _moved_bytes_from_counters(perf4, perf5):  # unit: perf4=flops, perf5=flops -> bytes\n"
+            "    return perf4 + perf5\n"
+        )
+        result = check_paths([tmp_path])
+        assert [(f.rule_id, f.line) for f in result.findings] == [("unit-mismatch", 2)]
+
+    def test_seeded_constant_leak_is_caught(self, tmp_path):
+        bad = tmp_path / "policy.py"
+        bad.write_text("NODE_PEAK = 3380.0\n")
+        result = check_paths([tmp_path])
+        assert [(f.rule_id, f.line) for f in result.findings] == [
+            ("system-constant-leak", 1)
+        ]
+
+    def test_flagged_tables_cover_the_papers_constants(self):
+        assert 3380.0 in FLAGGED_FLOATS and 1024.0 in FLAGGED_FLOATS
+        assert 158_976 in FLAGGED_INTS
+        assert "FP_SCALE_OPS_SPEC" in FLAGGED_NAMES
+
+
+def test_sysmodel_rules_are_registered_by_default():
+    assert "sysmodel-dimension" in {r.id for r in resolve_rules()}
+    assert {r.id for r in resolve_project_rules()} >= {
+        "sysmodel-contract",
+        "system-constant-leak",
+        "system-dispatch",
+    }
